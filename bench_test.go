@@ -1,0 +1,144 @@
+package mtm_test
+
+import (
+	"testing"
+
+	"mtm"
+
+	"mtm/internal/experiments"
+	"mtm/internal/migrate"
+	"mtm/internal/policy"
+	"mtm/internal/profiler"
+	"mtm/internal/sim"
+	"mtm/internal/tier"
+	"mtm/internal/vm"
+	"mtm/internal/workload"
+)
+
+// Every figure and table of the paper's evaluation has a benchmark that
+// regenerates it. `go test -bench Fig4 -v` prints the same rows the paper
+// reports (b.Log output appears with -v); timings measure the full
+// experiment driver. Experiment scale is kept small so the whole suite
+// runs in minutes; cmd/experiments -full produces the paper-length runs.
+
+func benchOpts() experiments.Options {
+	return experiments.Options{Scale: 256, OpsFactor: 0.25, Seed: 1}
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	o := benchOpts()
+	run := experiments.All[id]
+	if run == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = run(o)
+	}
+	b.Log("\n" + out)
+}
+
+func BenchmarkFig1ProfilingQuality(b *testing.B)   { benchExperiment(b, "fig1") }
+func BenchmarkFig3MigrationBreakdown(b *testing.B) { benchExperiment(b, "fig3") }
+func BenchmarkFig4Overall(b *testing.B)            { benchExperiment(b, "fig4") }
+func BenchmarkFig5Breakdown(b *testing.B)          { benchExperiment(b, "fig5") }
+func BenchmarkFig6Heatmap(b *testing.B)            { benchExperiment(b, "fig6") }
+func BenchmarkFig7Ablations(b *testing.B)          { benchExperiment(b, "fig7") }
+func BenchmarkFig8OverheadSweep(b *testing.B)      { benchExperiment(b, "fig8") }
+func BenchmarkFig9Thresholds(b *testing.B)         { benchExperiment(b, "fig9") }
+func BenchmarkFig10Alpha(b *testing.B)             { benchExperiment(b, "fig10") }
+func BenchmarkFig11Mechanisms(b *testing.B)        { benchExperiment(b, "fig11") }
+func BenchmarkFig12TwoTier(b *testing.B)           { benchExperiment(b, "fig12") }
+func BenchmarkTab3HotPages(b *testing.B)           { benchExperiment(b, "tab3") }
+func BenchmarkTab4InitialPlacement(b *testing.B)   { benchExperiment(b, "tab4") }
+func BenchmarkTab5MemoryOverhead(b *testing.B)     { benchExperiment(b, "tab5") }
+func BenchmarkTab6TierAccesses(b *testing.B)       { benchExperiment(b, "tab6") }
+func BenchmarkTab7RegionStats(b *testing.B)        { benchExperiment(b, "tab7") }
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkEngineAccess measures the simulator's hot path: one batched
+// application access through fault-free TouchN + latency accounting.
+func BenchmarkEngineAccess(b *testing.B) {
+	e := sim.NewEngine(tier.OptaneTopology(256), 1)
+	e.SetSolution(policy.NewFirstTouch())
+	v := e.AS.Alloc("b", 64*vm.HugePageSize)
+	for i := 0; i < v.NPages; i++ {
+		e.Access(v, i, 1, 0, 0)
+	}
+	e.Sys.ResetWindow(e.Interval)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Access(v, i&63, 4, 2, 0)
+	}
+}
+
+// BenchmarkPTEScan measures one ObserveScans call (the profiling
+// primitive).
+func BenchmarkPTEScan(b *testing.B) {
+	e := sim.NewEngine(tier.OptaneTopology(256), 1)
+	e.SetSolution(policy.NewFirstTouch())
+	v := e.AS.Alloc("b", 4*vm.HugePageSize)
+	e.Access(v, 0, 500, 0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vm.ObserveScans(v, 0, 3, 0.003, e.Rng)
+	}
+}
+
+// BenchmarkMTMProfileInterval measures one full adaptive-profiling pass
+// over a 1 GB address space.
+func BenchmarkMTMProfileInterval(b *testing.B) {
+	e := sim.NewEngine(tier.OptaneTopology(256), 1)
+	e.SetSolution(policy.NewFirstTouch())
+	e.Interval = 10 * 1e9 / 256
+	v := e.AS.Alloc("b", 512*vm.HugePageSize)
+	for i := 0; i < v.NPages; i++ {
+		e.Access(v, i, uint32(1+i%97), 0, 0)
+	}
+	m := profiler.NewMTM(profiler.DefaultMTMConfig())
+	m.Attach(e)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Profile(e)
+	}
+}
+
+// BenchmarkMigrate2MBRegion measures the three mechanisms moving one 2 MB
+// region between the fastest and slowest tiers (the Figure 3 scenario).
+func BenchmarkMigrate2MBRegion(b *testing.B) {
+	for _, mech := range []migrate.Mechanism{migrate.MovePages{}, migrate.Nimble{}, &migrate.Adaptive{WriteRate: 0}} {
+		b.Run(mech.Name(), func(b *testing.B) {
+			e := sim.NewEngine(tier.OptaneTopology(64), 1)
+			e.SetSolution(policy.NewFirstTouch())
+			v := e.AS.Alloc("b", vm.HugePageSize)
+			e.Sys.ResetWindow(e.Interval)
+			e.Access(v, 0, 1, 0, 0)
+			nodes := []tier.NodeID{v.Node(0), 3}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mech.Migrate(e, v, 0, 1, nodes[1-(i&1)], 0)
+			}
+		})
+	}
+}
+
+// BenchmarkGUPSInterval measures one simulated profiling interval of GUPS
+// under full MTM (application + profiling + migration).
+func BenchmarkGUPSInterval(b *testing.B) {
+	cfg := mtm.DefaultConfig()
+	cfg.Scale = 256
+	e := mtm.NewEngine(cfg)
+	w := workload.NewGUPS(workload.Config{Scale: 256, OpsFactor: 1})
+	s, err := mtm.NewSolution("mtm", cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.SetSolution(s)
+	w.Init(e)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunInterval(w)
+	}
+}

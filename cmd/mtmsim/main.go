@@ -1,0 +1,73 @@
+// Command mtmsim runs one workload under one page-management solution on
+// the simulated multi-tiered memory machine and prints the execution-time
+// breakdown and per-tier access distribution.
+//
+// Usage:
+//
+//	mtmsim -workload gups -solution mtm
+//	mtmsim -workload voltdb -solution tiered-autonuma -scale 64 -ops 1
+//	mtmsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mtm"
+)
+
+func main() {
+	var (
+		wl    = flag.String("workload", "gups", "workload name")
+		sol   = flag.String("solution", "mtm", "solution name")
+		scale = flag.Int64("scale", 256, "machine scale divisor")
+		ops   = flag.Float64("ops", 0.5, "workload length factor")
+		seed  = flag.Int64("seed", 1, "simulation seed")
+		two   = flag.Bool("two-tier", false, "use the single-socket DRAM+PM machine")
+		cxl   = flag.Bool("cxl", false, "use the DRAM + direct-CXL + switched-CXL machine")
+		list  = flag.Bool("list", false, "list workloads and solutions")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads:", mtm.WorkloadNames())
+		fmt.Println("solutions:", mtm.SolutionNames())
+		return
+	}
+
+	cfg := mtm.DefaultConfig()
+	cfg.Scale = *scale
+	cfg.OpsFactor = *ops
+	cfg.Seed = *seed
+	cfg.TwoTier = *two
+	cfg.CXL = *cxl
+
+	res, err := mtm.Run(cfg, *wl, *sol)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload:   %s\n", res.Workload)
+	fmt.Printf("solution:   %s\n", res.Solution)
+	fmt.Printf("completed:  %v (%d intervals)\n", res.Completed, res.Intervals)
+	fmt.Printf("exec time:  %v (virtual)\n", res.ExecTime)
+	fmt.Printf("  app:       %v\n", res.App)
+	fmt.Printf("  profiling: %v (%.1f%%)\n", res.Profiling, pct(res.Profiling, res.ExecTime))
+	fmt.Printf("  migration: %v (%.1f%%)\n", res.Migration, pct(res.Migration, res.ExecTime))
+	fmt.Printf("background copy: %v\n", res.Background)
+	fmt.Printf("promoted:   %d MB, demoted: %d MB\n", res.PromotedBytes>>20, res.DemotedBytes>>20)
+	topo := cfg.Topology()
+	fmt.Println("accesses per node:")
+	for i, n := range res.NodeAccesses {
+		fmt.Printf("  %-6s %12d (%.1f%%)\n", topo.Nodes[i].Name, n, 100*float64(n)/float64(res.TotalAccesses))
+	}
+}
+
+func pct(part, whole interface{ Seconds() float64 }) float64 {
+	if whole.Seconds() == 0 {
+		return 0
+	}
+	return 100 * part.Seconds() / whole.Seconds()
+}

@@ -1,0 +1,47 @@
+// dbtier: tune MTM for an in-memory OLTP database (VoltDB running TPC-C).
+// The example shows the knobs a deployment would actually turn — the
+// profiling overhead target and the EMA weight α — and how each trades
+// profiling cost against placement quality on a transactional workload
+// whose hot set follows the clients' home warehouses.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mtm"
+)
+
+func main() {
+	base := mtm.DefaultConfig()
+	base.Scale = 256
+	base.OpsFactor = 0.4
+
+	fmt.Println("VoltDB/TPC-C: profiling overhead target sweep (Figure 8's knob)")
+	fmt.Printf("%-8s %12s %12s %10s\n", "target", "exec", "app", "profiling")
+	for _, target := range []float64{0.01, 0.03, 0.05, 0.10} {
+		cfg := base
+		cfg.OverheadTarget = target
+		res, err := mtm.Run(cfg, "voltdb", "mtm")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %12v %12v %10v\n", fmt.Sprintf("%.0f%%", target*100), res.ExecTime, res.App, res.Profiling)
+	}
+
+	fmt.Println("\nEMA weight α (Equation 2): history vs recency in migration decisions")
+	fmt.Printf("%-8s %12s\n", "alpha", "exec")
+	for _, alpha := range []float64{-1, 0.25, 0.5, 0.75, 1} {
+		cfg := base
+		cfg.Alpha = alpha // negative selects α=0 (history only)
+		res, err := mtm.Run(cfg, "voltdb", "mtm")
+		if err != nil {
+			log.Fatal(err)
+		}
+		shown := alpha
+		if shown < 0 {
+			shown = 0
+		}
+		fmt.Printf("%-8.2f %12v\n", shown, res.ExecTime)
+	}
+}

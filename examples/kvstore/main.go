@@ -1,0 +1,53 @@
+// kvstore: evaluate page-management solutions for a Cassandra-style
+// key-value store (YCSB workload A: zipfian keys, 50% reads / 50%
+// updates) — the scenario where skewed row popularity makes hot-page
+// identification pay off, but scattered hot rows stress region formation.
+//
+// The example sweeps every four-tier solution and reports execution time,
+// overheads, and how much of the application's traffic each solution
+// managed to serve from the two DRAM tiers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mtm"
+)
+
+func main() {
+	cfg := mtm.DefaultConfig()
+	cfg.Scale = 256
+	cfg.OpsFactor = 0.4
+
+	solutions := []string{
+		"first-touch", "hmc",
+		"vanilla-tiered-autonuma", "tiered-autonuma",
+		"autotiering", "mtm",
+	}
+
+	topo := cfg.Topology()
+	fmt.Println("Cassandra / YCSB-A on the four-tier Optane machine")
+	fmt.Printf("%-26s %10s %10s %10s %9s\n", "solution", "exec", "profiling", "migration", "fast-tier")
+	var base float64
+	for _, sol := range solutions {
+		res, err := mtm.Run(cfg, "cassandra", sol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == 0 {
+			base = res.ExecTime.Seconds()
+		}
+		// Share of application accesses served by DRAM nodes.
+		var fast, total int64
+		for i, n := range res.NodeAccesses {
+			total += n
+			if topo.Nodes[i].Name == "DRAM0" || topo.Nodes[i].Name == "DRAM1" {
+				fast += n
+			}
+		}
+		fmt.Printf("%-26s %10v %10v %10v %8.1f%%   (%.3fx first-touch)\n",
+			res.Solution, res.ExecTime, res.Profiling, res.Migration,
+			100*float64(fast)/float64(total), res.ExecTime.Seconds()/base)
+	}
+}

@@ -1,0 +1,3 @@
+module mtm
+
+go 1.22

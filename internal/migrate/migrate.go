@@ -1,0 +1,299 @@
+// Package migrate implements the page-migration mechanisms of §7: Linux's
+// synchronous move_pages(), Nimble's parallel/huge-page-aware migration,
+// and MTM's move_memory_regions() — asynchronous page copy with dirty
+// tracking and an adaptive switch back to synchronous copy when a write
+// hits the region mid-copy.
+//
+// Each mechanism charges virtual time to the engine, split into the four
+// move_pages() steps of §7.1 (allocate, unmap, copy, remap+PT) plus MTM's
+// dirty tracking, so the Figure 3/11 breakdowns can be regenerated.
+package migrate
+
+import (
+	"math"
+	"time"
+
+	"mtm/internal/sim"
+	"mtm/internal/tier"
+	"mtm/internal/vm"
+)
+
+// Per-PTE software costs of the migration steps. Values follow the §7.1
+// measurement that page copy is ~40% of move_pages() time for a 2 MB
+// region with the remainder split across the other steps.
+const (
+	AllocPerPTE = 600 * time.Nanosecond
+	UnmapPerPTE = 700 * time.Nanosecond
+	RemapPerPTE = 700 * time.Nanosecond
+	PTPerPTE    = 200 * time.Nanosecond
+	CopyPerPTE  = 400 * time.Nanosecond // per-page loop overhead of the copy step
+
+	// SingleThreadCopyBW is what one kernel thread's 4 KB-at-a-time
+	// memcpy sustains; move_pages() copies pages sequentially with one
+	// thread, which is why multi-threaded copy (Nimble, MTM) wins on
+	// wide links.
+	SingleThreadCopyBW = 5 * tier.GB
+
+	// CopyThreads is the helper-thread count for parallel copy.
+	CopyThreads = 4
+
+	// DirtyTrackArm is the cost of write-protecting a region and issuing
+	// the single TLB flush MTM's tracking needs (§7.2).
+	DirtyTrackArm = 10 * time.Microsecond
+	// DirtyFaultCost is one user-space write-protection fault (~40 µs,
+	// §9.5), paid once: tracking turns off after the first write.
+	DirtyFaultCost = 40 * time.Microsecond
+)
+
+// Steps is the per-step time breakdown of one migration.
+type Steps struct {
+	Alloc      time.Duration
+	Unmap      time.Duration
+	Copy       time.Duration
+	Remap      time.Duration
+	PageTable  time.Duration
+	DirtyTrack time.Duration
+}
+
+// Total sums the steps.
+func (s Steps) Total() time.Duration {
+	return s.Alloc + s.Unmap + s.Copy + s.Remap + s.PageTable + s.DirtyTrack
+}
+
+// Report summarises one region migration.
+type Report struct {
+	MovedPages int   // pages actually rebound
+	Bytes      int64 // bytes moved
+	// Critical is the time exposed on the application's critical path;
+	// Background is helper-thread time overlapped with execution.
+	Critical   time.Duration
+	Background time.Duration
+	// CriticalSteps breaks down the critical-path time.
+	CriticalSteps Steps
+	// ExtraCopyBytes is data re-copied because pages were written during
+	// an asynchronous copy.
+	ExtraCopyBytes int64
+	// SwitchedToSync reports MTM's adaptive fallback firing.
+	SwitchedToSync bool
+}
+
+// Mechanism migrates a span of pages [start, end) of a VMA to dst and
+// charges the engine. Pages already on dst are skipped; at most maxPages
+// pages move (maxPages <= 0 means no cap). Implementations must move only
+// pages that fit in dst and must keep tier accounting exact via
+// Engine.MovePage.
+type Mechanism interface {
+	Name() string
+	Migrate(e *sim.Engine, v *vm.VMA, start, end int, dst tier.NodeID, maxPages int) Report
+}
+
+// linkBW returns the bandwidth of the narrower link of a src→dst copy
+// issued from the engine's home socket.
+func linkBW(e *sim.Engine, src, dst tier.NodeID) int64 {
+	ls := e.Sys.Topo.Links[e.HomeSocket][src]
+	ld := e.Sys.Topo.Links[e.HomeSocket][dst]
+	if ls.Bandwidth < ld.Bandwidth {
+		return ls.Bandwidth
+	}
+	return ld.Bandwidth
+}
+
+func copyTime(bytes int64, bw int64) time.Duration {
+	return time.Duration(float64(bytes) / float64(bw) * float64(time.Second))
+}
+
+// rebind moves pages one by one until dst runs out of space or maxPages
+// pages have moved (maxPages <= 0 means no cap); it returns the number of
+// pages moved, the bytes, and the source node of the first moved page
+// (Invalid if nothing moved), and records bandwidth demand on both nodes.
+func rebind(e *sim.Engine, v *vm.VMA, start, end int, dst tier.NodeID, maxPages int) (int, int64, tier.NodeID) {
+	moved := 0
+	var bytes int64
+	srcNode := tier.Invalid
+	for i := start; i < end; i++ {
+		if maxPages > 0 && moved >= maxPages {
+			break
+		}
+		if !v.Present(i) || v.Node(i) == dst {
+			continue
+		}
+		src := v.Node(i)
+		if !e.MovePage(v, i, dst) {
+			break
+		}
+		if srcNode == tier.Invalid {
+			srcNode = src
+		}
+		moved++
+		bytes += v.PageSize
+		e.Sys.RecordTransfer(src, v.PageSize)
+		e.Sys.RecordTransfer(dst, v.PageSize)
+	}
+	return moved, bytes, srcNode
+}
+
+// MovePages models Linux move_pages(): the four steps run sequentially on
+// the calling thread, the copy is single-threaded, and THP mappings are
+// split so every 4 KB page pays per-PTE costs (§7.1).
+type MovePages struct{}
+
+func (MovePages) Name() string { return "move_pages" }
+
+func (MovePages) Migrate(e *sim.Engine, v *vm.VMA, start, end int, dst tier.NodeID, maxPages int) Report {
+	moved, bytes, srcNode := rebind(e, v, start, end, dst, maxPages)
+	if moved == 0 {
+		return Report{}
+	}
+	n4k := bytes / vm.BasePageSize // THP split: per-4KB-PTE work
+	bw := linkBW(e, srcNode, dst)
+	if SingleThreadCopyBW < bw {
+		bw = SingleThreadCopyBW
+	}
+	st := Steps{
+		Alloc:     time.Duration(n4k) * AllocPerPTE,
+		Unmap:     time.Duration(n4k) * UnmapPerPTE,
+		Copy:      time.Duration(n4k)*CopyPerPTE + copyTime(bytes, bw),
+		Remap:     time.Duration(n4k) * RemapPerPTE,
+		PageTable: time.Duration(n4k) * PTPerPTE,
+	}
+	e.ChargeMigration(st.Total())
+	return Report{MovedPages: moved, Bytes: bytes, Critical: st.Total(), CriticalSteps: st}
+}
+
+// Nimble models Nimble page management: still synchronous, but with
+// multi-threaded parallel copy and exchange-style allocation that halves
+// allocation work. Per-PTE bookkeeping happens at 4 KB granularity like
+// move_pages (migration splits THP mappings).
+type Nimble struct{}
+
+func (Nimble) Name() string { return "nimble" }
+
+func (Nimble) Migrate(e *sim.Engine, v *vm.VMA, start, end int, dst tier.NodeID, maxPages int) Report {
+	moved, bytes, srcNode := rebind(e, v, start, end, dst, maxPages)
+	if moved == 0 {
+		return Report{}
+	}
+	n4k := bytes / vm.BasePageSize
+	bw := linkBW(e, srcNode, dst)
+	if th := int64(CopyThreads) * SingleThreadCopyBW; th < bw {
+		bw = th
+	}
+	st := Steps{
+		Alloc:     time.Duration(n4k) * AllocPerPTE / 2, // exchange pages
+		Unmap:     time.Duration(n4k) * UnmapPerPTE,
+		Copy:      time.Duration(n4k)*CopyPerPTE/CopyThreads + copyTime(bytes, bw),
+		Remap:     time.Duration(n4k) * RemapPerPTE,
+		PageTable: time.Duration(n4k) * PTPerPTE,
+	}
+	e.ChargeMigration(st.Total())
+	return Report{MovedPages: moved, Bytes: bytes, Critical: st.Total(), CriticalSteps: st}
+}
+
+// Adaptive models MTM's move_memory_regions() (§7.2): allocation and copy
+// run on helper threads off the critical path while unmap/remap/PT stay
+// on it; dirty tracking write-protects the region, and the first write
+// during the async copy switches the remainder to synchronous copy (the
+// pages already copied and then dirtied are re-copied).
+//
+// ForceSync disables the async path ("w/o async migration" ablation): the
+// mechanism is then Nimble-equivalent plus dirty-tracking arming skipped.
+type Adaptive struct {
+	ForceSync bool
+	// WriteRate overrides the per-page write-rate estimate (writes per
+	// second during the copy window); negative means derive it from the
+	// interval's ground-truth write counters. Microbenchmarks use the
+	// override to model concurrent writers.
+	WriteRate float64
+}
+
+// NewAdaptive returns the default MTM mechanism.
+func NewAdaptive() *Adaptive { return &Adaptive{WriteRate: -1} }
+
+func (a *Adaptive) Name() string {
+	if a.ForceSync {
+		return "move_memory_regions(sync)"
+	}
+	return "move_memory_regions"
+}
+
+func (a *Adaptive) Migrate(e *sim.Engine, v *vm.VMA, start, end int, dst tier.NodeID, maxPages int) Report {
+	// Estimate the region's write rate BEFORE rebinding (counters are
+	// per-interval; rebinding doesn't change them, but order keeps the
+	// estimate tied to the pages actually moved).
+	var writes uint32
+	for i := start; i < end; i++ {
+		writes += v.WriteCount(i)
+	}
+	moved, bytes, srcNode := rebind(e, v, start, end, dst, maxPages)
+	if moved == 0 {
+		return Report{}
+	}
+	n4k := bytes / vm.BasePageSize // same 4 KB PTE granularity as move_pages
+	bw := linkBW(e, srcNode, dst)
+	if th := int64(CopyThreads) * SingleThreadCopyBW; th < bw {
+		bw = th
+	}
+	alloc := time.Duration(n4k) * AllocPerPTE
+	cp := time.Duration(n4k)*CopyPerPTE/CopyThreads + copyTime(bytes, bw)
+	crit := Steps{
+		Unmap:     time.Duration(n4k) * UnmapPerPTE,
+		Remap:     time.Duration(n4k) * RemapPerPTE,
+		PageTable: time.Duration(n4k) * PTPerPTE,
+	}
+	rep := Report{MovedPages: moved, Bytes: bytes}
+
+	if a.ForceSync {
+		crit.Alloc = alloc
+		crit.Copy = cp
+		rep.Critical = crit.Total()
+		rep.CriticalSteps = crit
+		e.ChargeMigration(rep.Critical)
+		return rep
+	}
+
+	crit.DirtyTrack = DirtyTrackArm
+	// Will a write land while the async copy is in flight?
+	rate := a.WriteRate
+	if rate < 0 {
+		rate = float64(writes) / e.Interval.Seconds()
+	}
+	window := (alloc + cp).Seconds()
+	expWrites := rate * window
+	pWrite := 1 - math.Exp(-expWrites)
+	if e.Rng.Float64() < pWrite {
+		// First write detected: one WP fault, then the remaining copy
+		// switches to the synchronous move_pages-style path (single
+		// copy thread, on the critical path, §7.2). Async progress is
+		// bounded by when the first write landed — under heavy writes
+		// the switch fires almost immediately, which is why MTM
+		// performs like move_pages for write-intensive regions (§9.5).
+		rep.SwitchedToSync = true
+		firstWrite := 1.0
+		if expWrites > 1 {
+			firstWrite = 1 / expWrites
+		}
+		done := e.Rng.Float64() * firstWrite
+		dirtyFrac := 0.25 * done // already-copied pages dirtied meanwhile
+		crit.DirtyTrack += DirtyFaultCost
+		syncBW := linkBW(e, srcNode, dst)
+		if SingleThreadCopyBW < syncBW {
+			syncBW = SingleThreadCopyBW
+		}
+		syncCopy := time.Duration(n4k)*CopyPerPTE + copyTime(bytes, syncBW)
+		crit.Copy = time.Duration(float64(syncCopy) * (1 - done + dirtyFrac))
+		crit.Alloc = 0 // allocation had completed in the background
+		rep.ExtraCopyBytes = int64(float64(bytes) * dirtyFrac)
+		rep.Background = time.Duration(float64(alloc) + float64(cp)*done)
+	} else {
+		rep.Background = alloc + cp
+	}
+	rep.Critical = crit.Total()
+	rep.CriticalSteps = crit
+	e.ChargeMigration(rep.Critical)
+	e.ChargeBackground(rep.Background)
+	if rep.ExtraCopyBytes > 0 {
+		e.Sys.RecordTransfer(srcNode, rep.ExtraCopyBytes)
+		e.Sys.RecordTransfer(dst, rep.ExtraCopyBytes)
+	}
+	return rep
+}

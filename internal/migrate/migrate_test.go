@@ -1,0 +1,229 @@
+package migrate
+
+import (
+	"testing"
+	"time"
+
+	"mtm/internal/sim"
+	"mtm/internal/tier"
+	"mtm/internal/vm"
+)
+
+type nullSolution struct{ node tier.NodeID }
+
+func (n *nullSolution) Name() string { return "null" }
+func (n *nullSolution) Place(e *sim.Engine, v *vm.VMA, idx, socket int) tier.NodeID {
+	return n.node
+}
+func (*nullSolution) IntervalStart(*sim.Engine) {}
+func (*nullSolution) IntervalEnd(*sim.Engine)   {}
+
+// setup creates an engine with a VMA of n huge pages resident on src.
+func setup(t *testing.T, nPages int, src tier.NodeID) (*sim.Engine, *vm.VMA) {
+	t.Helper()
+	e := sim.NewEngine(tier.OptaneTopology(64), 1)
+	e.Interval = time.Second
+	e.SetSolution(&nullSolution{node: src})
+	v := e.AS.Alloc("m", int64(nPages)*vm.HugePageSize)
+	e.Sys.ResetWindow(e.Interval)
+	for i := 0; i < nPages; i++ {
+		e.Access(v, i, 1, 0, 0)
+		if v.Node(i) != src {
+			t.Fatalf("setup: page %d on %d, want %d", i, v.Node(i), src)
+		}
+	}
+	return e, v
+}
+
+func TestMovePagesRebinds(t *testing.T) {
+	e, v := setup(t, 4, 2)
+	rep := MovePages{}.Migrate(e, v, 0, 4, 0, 0)
+	if rep.MovedPages != 4 || rep.Bytes != 4*vm.HugePageSize {
+		t.Fatalf("moved %d pages / %d bytes", rep.MovedPages, rep.Bytes)
+	}
+	for i := 0; i < 4; i++ {
+		if v.Node(i) != 0 {
+			t.Fatalf("page %d not moved", i)
+		}
+	}
+	if e.Sys.Used(2) != 0 || e.Sys.Used(0) != 4*vm.HugePageSize {
+		t.Fatal("capacity accounting wrong after migration")
+	}
+	if rep.Critical == 0 || rep.Background != 0 {
+		t.Fatalf("move_pages must be fully synchronous: %v/%v", rep.Critical, rep.Background)
+	}
+}
+
+func TestMovePagesStepShares(t *testing.T) {
+	e, v := setup(t, 1, 0)
+	rep := MovePages{}.Migrate(e, v, 0, 1, 3, 0) // fastest -> slowest, 2MB
+	st := rep.CriticalSteps
+	// §7.1: copying is the most time-consuming step (~40% of the total
+	// for fastest-to-slowest in Figure 3; exact shares vary by pair).
+	frac := float64(st.Copy) / float64(st.Total())
+	if frac < 0.30 || frac > 0.90 {
+		t.Fatalf("copy share = %.2f, want dominant (~0.4+)", frac)
+	}
+	if st.Alloc == 0 || st.Unmap == 0 || st.Remap == 0 || st.PageTable == 0 {
+		t.Fatalf("missing step costs: %+v", st)
+	}
+}
+
+func TestMaxPagesCap(t *testing.T) {
+	e, v := setup(t, 8, 2)
+	rep := MovePages{}.Migrate(e, v, 0, 8, 0, 3)
+	if rep.MovedPages != 3 {
+		t.Fatalf("moved %d, want 3", rep.MovedPages)
+	}
+}
+
+func TestSkipsPagesAlreadyOnDst(t *testing.T) {
+	e, v := setup(t, 4, 2)
+	e.MovePage(v, 1, 0)
+	rep := Nimble{}.Migrate(e, v, 0, 4, 0, 0)
+	if rep.MovedPages != 3 {
+		t.Fatalf("moved %d, want 3 (one already there)", rep.MovedPages)
+	}
+}
+
+func TestStopsWhenDstFull(t *testing.T) {
+	e, v := setup(t, 8, 2)
+	free := e.Sys.Free(0)
+	fits := int(free / vm.HugePageSize)
+	if fits >= 8 {
+		// Fill node 0 so only 2 pages fit.
+		e.Sys.Reserve(0, free-2*vm.HugePageSize)
+		fits = 2
+	}
+	rep := MovePages{}.Migrate(e, v, 0, 8, 0, 0)
+	if rep.MovedPages != fits {
+		t.Fatalf("moved %d, want %d", rep.MovedPages, fits)
+	}
+}
+
+func TestNimbleFasterThanMovePages(t *testing.T) {
+	e1, v1 := setup(t, 16, 2)
+	r1 := MovePages{}.Migrate(e1, v1, 0, 16, 0, 0)
+	e2, v2 := setup(t, 16, 2)
+	r2 := Nimble{}.Migrate(e2, v2, 0, 16, 0, 0)
+	if r2.Critical >= r1.Critical {
+		t.Fatalf("Nimble (%v) not faster than move_pages (%v)", r2.Critical, r1.Critical)
+	}
+}
+
+func TestAdaptiveAsyncReadOnly(t *testing.T) {
+	e, v := setup(t, 16, 2)
+	m := NewAdaptive()
+	m.WriteRate = 0 // read-only region: async must stick
+	rep := m.Migrate(e, v, 0, 16, 0, 0)
+	if rep.SwitchedToSync {
+		t.Fatal("read-only migration switched to sync")
+	}
+	if rep.CriticalSteps.Copy != 0 || rep.CriticalSteps.Alloc != 0 {
+		t.Fatal("async migration left copy/alloc on the critical path")
+	}
+	if rep.Background == 0 {
+		t.Fatal("async migration did no background work")
+	}
+	sync := &Adaptive{ForceSync: true}
+	e2, v2 := setup(t, 16, 2)
+	rep2 := sync.Migrate(e2, v2, 0, 16, 0, 0)
+	if rep.Critical >= rep2.Critical {
+		t.Fatalf("async critical (%v) not below sync (%v)", rep.Critical, rep2.Critical)
+	}
+}
+
+// TestAsyncSpeedup checks the §7.2 headline: move_memory_regions() is
+// several times faster than move_pages() for a read-only 2MB region
+// (4.37x in the paper).
+func TestAsyncSpeedup(t *testing.T) {
+	e1, v1 := setup(t, 1, 0)
+	mp := MovePages{}.Migrate(e1, v1, 0, 1, 3, 0)
+	e2, v2 := setup(t, 1, 0)
+	m := NewAdaptive()
+	m.WriteRate = 0
+	mmr := m.Migrate(e2, v2, 0, 1, 3, 0)
+	speedup := float64(mp.Critical) / float64(mmr.Critical)
+	if speedup < 2 {
+		t.Fatalf("speedup = %.2fx, want >2x (paper: 4.37x)", speedup)
+	}
+}
+
+func TestAdaptiveSwitchesOnWrites(t *testing.T) {
+	m := NewAdaptive()
+	m.WriteRate = 1e9 // writes certain during the copy window
+	e, v := setup(t, 16, 2)
+	rep := m.Migrate(e, v, 0, 16, 0, 0)
+	if !rep.SwitchedToSync {
+		t.Fatal("write-hot migration did not switch to sync")
+	}
+	if rep.CriticalSteps.DirtyTrack < DirtyFaultCost {
+		t.Fatalf("dirty fault not charged: %v", rep.CriticalSteps.DirtyTrack)
+	}
+	if rep.CriticalSteps.Copy == 0 {
+		t.Fatal("sync fallback must expose copy on the critical path")
+	}
+}
+
+func TestAdaptiveDerivesWriteRate(t *testing.T) {
+	e, v := setup(t, 4, 2)
+	// Hammer writes so the ground-truth write counters force a switch.
+	for i := 0; i < 4; i++ {
+		e.Access(v, i, 1<<20, 1<<20, 0)
+	}
+	m := NewAdaptive() // WriteRate < 0: derive from counters
+	rep := m.Migrate(e, v, 0, 4, 0, 0)
+	if !rep.SwitchedToSync {
+		t.Fatal("heavily written region did not switch to sync")
+	}
+}
+
+func TestMigrateEmptySpan(t *testing.T) {
+	e, v := setup(t, 4, 2)
+	rep := NewAdaptive().Migrate(e, v, 2, 2, 0, 0)
+	if rep.MovedPages != 0 || rep.Critical != 0 {
+		t.Fatalf("empty span migrated: %+v", rep)
+	}
+}
+
+func TestWriteIntensiveParity(t *testing.T) {
+	// §9.5: for write-intensive pages MTM performs similar to
+	// move_pages (within ~10%).
+	e1, v1 := setup(t, 16, 0)
+	mp := MovePages{}.Migrate(e1, v1, 0, 16, 2, 0)
+	e2, v2 := setup(t, 16, 0)
+	m := NewAdaptive()
+	m.WriteRate = 1e9
+	ad := m.Migrate(e2, v2, 0, 16, 2, 0)
+	ratio := float64(ad.Critical) / float64(mp.Critical)
+	if ratio > 1.35 {
+		t.Fatalf("write-intensive adaptive %.2fx move_pages, want parity-ish", ratio)
+	}
+}
+
+func TestMigrationConsumesBandwidth(t *testing.T) {
+	e, v := setup(t, 8, 2)
+	before := e.Sys.Demand(0)
+	MovePages{}.Migrate(e, v, 0, 8, 0, 0)
+	moved := int64(8) * vm.HugePageSize
+	if got := e.Sys.Demand(0) - before; got < moved {
+		t.Fatalf("destination demand rose by %d, want >= %d", got, moved)
+	}
+	if e.Sys.Demand(2) < moved {
+		t.Fatalf("source demand %d, want >= %d", e.Sys.Demand(2), moved)
+	}
+}
+
+func TestAdaptiveFirstWriteBoundsAsyncProgress(t *testing.T) {
+	// Under certain writes the async prefix must be small: critical copy
+	// close to the full synchronous cost.
+	m := NewAdaptive()
+	m.WriteRate = 1e12
+	e, v := setup(t, 16, 0)
+	rep := m.Migrate(e, v, 0, 16, 2, 0)
+	e2, v2 := setup(t, 16, 0)
+	mp := MovePages{}.Migrate(e2, v2, 0, 16, 2, 0)
+	if rep.CriticalSteps.Copy < mp.CriticalSteps.Copy*8/10 {
+		t.Fatalf("write-storm async copy %v escaped sync cost %v", rep.CriticalSteps.Copy, mp.CriticalSteps.Copy)
+	}
+}

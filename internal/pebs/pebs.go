@@ -1,0 +1,127 @@
+// Package pebs models processor event-based sampling (Intel PEBS) as MTM
+// uses it (§5.5, §8): hardware events fire on memory loads served by
+// selected memory nodes, one in SamplePeriod accesses is recorded into a
+// preallocated buffer, and an interrupt fires when the buffer fills.
+//
+// MTM arms the counters only for an activation window covering a fraction
+// of each profiling interval (10% by default) and only on the slowest
+// tier, using the samples to decide which regions deserve PTE-scan
+// profiling. HeMem, by contrast, relies on PEBS alone; the same engine
+// serves both, so the comparison in §9.6 exercises identical sampling
+// randomness.
+package pebs
+
+import (
+	"math/rand"
+
+	"mtm/internal/tier"
+	"mtm/internal/vm"
+)
+
+// DefaultSamplePeriod is the paper's production sampling period: one
+// sample per 200 memory accesses.
+const DefaultSamplePeriod = 200
+
+// DefaultWindowFrac is the fraction of the profiling interval during which
+// the counters are armed by MTM.
+const DefaultWindowFrac = 0.10
+
+// Sample is one recorded memory access.
+type Sample struct {
+	VMA  *vm.VMA
+	Page int
+	Node tier.NodeID
+}
+
+// Buffer is the preallocated sample buffer with interrupt-on-full
+// semantics. It is armed with a set of watched nodes and an effective
+// sampling probability; the simulation engine feeds every application
+// access through Record.
+type Buffer struct {
+	SamplePeriod int     // one sample per this many accesses
+	WindowFrac   float64 // fraction of the interval the counters are armed
+	Capacity     int     // samples before an interrupt fires
+
+	watched    []bool
+	armed      bool
+	samples    []Sample
+	interrupts int
+	dropped    int
+	rng        *rand.Rand
+	carry      float64 // fractional expected samples carried between calls
+}
+
+// NewBuffer creates a buffer with the paper's defaults and the given
+// capacity (number of samples before an "interrupt" drains it).
+func NewBuffer(nodes int, capacity int, rng *rand.Rand) *Buffer {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Buffer{
+		SamplePeriod: DefaultSamplePeriod,
+		WindowFrac:   DefaultWindowFrac,
+		Capacity:     capacity,
+		watched:      make([]bool, nodes),
+		samples:      make([]Sample, 0, capacity),
+		rng:          rng,
+	}
+}
+
+// Arm starts a sampling window watching the given nodes. Previously
+// collected samples are cleared.
+func (b *Buffer) Arm(nodes ...tier.NodeID) {
+	for i := range b.watched {
+		b.watched[i] = false
+	}
+	for _, n := range nodes {
+		b.watched[n] = true
+	}
+	b.armed = true
+	b.samples = b.samples[:0]
+	b.carry = 0
+}
+
+// Disarm stops sampling.
+func (b *Buffer) Disarm() { b.armed = false }
+
+// Armed reports whether a window is active.
+func (b *Buffer) Armed() bool { return b.armed }
+
+// Watches reports whether accesses to node n are sampled.
+func (b *Buffer) Watches(n tier.NodeID) bool {
+	return b.armed && int(n) >= 0 && int(n) < len(b.watched) && b.watched[n]
+}
+
+// Record feeds n application accesses to (v, page) on node into the
+// sampler. The expected number of recorded samples is
+// n * WindowFrac / SamplePeriod; fractional expectations are carried
+// across calls so low-rate pages are still sampled fairly.
+func (b *Buffer) Record(v *vm.VMA, page int, node tier.NodeID, n uint32) {
+	if !b.Watches(node) {
+		return
+	}
+	exp := float64(n)*b.WindowFrac/float64(b.SamplePeriod) + b.carry
+	k := int(exp)
+	b.carry = exp - float64(k)
+	for i := 0; i < k; i++ {
+		if len(b.samples) >= b.Capacity {
+			// Buffer full: the interrupt handler drains it in real
+			// hardware; we model the drain as free (its cost is folded
+			// into the profiling budget) but count the event, and drop
+			// nothing since the handler copies samples out.
+			b.interrupts++
+			b.dropped++
+			continue
+		}
+		b.samples = append(b.samples, Sample{VMA: v, Page: page, Node: node})
+	}
+}
+
+// Samples returns the samples collected in the current window.
+func (b *Buffer) Samples() []Sample { return b.samples }
+
+// Interrupts returns how many buffer-full interrupts have fired.
+func (b *Buffer) Interrupts() int { return b.interrupts }
+
+// Dropped returns how many samples were lost to buffer-full conditions.
+func (b *Buffer) Dropped() int { return b.dropped }

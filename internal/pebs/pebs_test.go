@@ -1,0 +1,115 @@
+package pebs
+
+import (
+	"math/rand"
+	"testing"
+
+	"mtm/internal/tier"
+	"mtm/internal/vm"
+)
+
+func testVMA() *vm.VMA {
+	as := vm.NewAddressSpace()
+	v := as.Alloc("t", 8*tier.MB)
+	for i := 0; i < v.NPages; i++ {
+		v.Place(i, 2)
+	}
+	return v
+}
+
+func TestArmDisarm(t *testing.T) {
+	b := NewBuffer(4, 128, rand.New(rand.NewSource(1)))
+	if b.Armed() {
+		t.Fatal("buffer armed before Arm")
+	}
+	b.Arm(2, 3)
+	if !b.Watches(2) || !b.Watches(3) || b.Watches(0) {
+		t.Fatal("watch set wrong")
+	}
+	b.Disarm()
+	if b.Watches(2) {
+		t.Fatal("still watching after Disarm")
+	}
+}
+
+func TestWatchesOutOfRange(t *testing.T) {
+	b := NewBuffer(4, 128, rand.New(rand.NewSource(1)))
+	b.Arm(0)
+	if b.Watches(tier.NodeID(99)) || b.Watches(tier.Invalid) {
+		t.Fatal("out-of-range node watched")
+	}
+}
+
+func TestSamplingRate(t *testing.T) {
+	b := NewBuffer(4, 1<<20, rand.New(rand.NewSource(42)))
+	b.Arm(2)
+	v := testVMA()
+	const accesses = 4_000_000
+	b.Record(v, 0, 2, accesses)
+	// Expected samples = accesses * windowFrac / period = 4e6*0.1/200 = 2000.
+	got := len(b.Samples())
+	if got < 1800 || got > 2200 {
+		t.Fatalf("samples = %d, want ~2000", got)
+	}
+}
+
+func TestFractionalCarry(t *testing.T) {
+	b := NewBuffer(4, 1<<20, rand.New(rand.NewSource(7)))
+	b.Arm(2)
+	v := testVMA()
+	// Each call has expectation 0.05; 10k calls must accumulate ~500
+	// samples rather than rounding every call to zero.
+	for i := 0; i < 10000; i++ {
+		b.Record(v, i%v.NPages, 2, 100)
+	}
+	got := len(b.Samples())
+	if got < 350 || got > 650 {
+		t.Fatalf("samples = %d, want ~500 via fractional carry", got)
+	}
+}
+
+func TestUnwatchedNodeIgnored(t *testing.T) {
+	b := NewBuffer(4, 128, rand.New(rand.NewSource(1)))
+	b.Arm(2)
+	v := testVMA()
+	b.Record(v, 0, 0, 1_000_000)
+	if len(b.Samples()) != 0 {
+		t.Fatal("samples recorded for unwatched node")
+	}
+}
+
+func TestBufferFullInterrupt(t *testing.T) {
+	b := NewBuffer(4, 8, rand.New(rand.NewSource(1)))
+	b.Arm(2)
+	v := testVMA()
+	b.Record(v, 0, 2, 100_000) // expectation 50 >> capacity 8
+	if len(b.Samples()) != 8 {
+		t.Fatalf("buffer holds %d, want capacity 8", len(b.Samples()))
+	}
+	if b.Interrupts() == 0 || b.Dropped() == 0 {
+		t.Fatal("buffer-full interrupt not recorded")
+	}
+}
+
+func TestRearmClears(t *testing.T) {
+	b := NewBuffer(4, 128, rand.New(rand.NewSource(1)))
+	b.Arm(2)
+	v := testVMA()
+	b.Record(v, 0, 2, 100_000)
+	b.Arm(2)
+	if len(b.Samples()) != 0 {
+		t.Fatal("re-arm did not clear samples")
+	}
+}
+
+func TestSampleIdentity(t *testing.T) {
+	b := NewBuffer(4, 128, rand.New(rand.NewSource(1)))
+	b.Arm(2)
+	v := testVMA()
+	b.Record(v, 3, 2, 50_000)
+	for _, s := range b.Samples() {
+		if s.VMA != v || s.Page != 3 || s.Node != 2 {
+			t.Fatalf("bad sample %+v", s)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package policy
+
+import (
+	"mtm/internal/migrate"
+	"mtm/internal/profiler"
+	"mtm/internal/region"
+	"mtm/internal/sim"
+	"mtm/internal/tier"
+	"mtm/internal/vm"
+)
+
+// TieredAutoNUMA is the Linux memory-tiering baseline built on NUMA
+// balancing (§2.1, §9): a sequential hint-fault scan covers 256 MB per
+// interval, pages judged hot are promoted, and — the structural limitation
+// §9.1 highlights — promotion moves one tier at a time toward the fast
+// memory, preferring swaps within a socket, so a page on the remote slow
+// tier needs several intervals to reach the top. Migration uses Linux
+// move_pages().
+//
+// Patched selects the two upstream improvements evaluated in the paper:
+// hot-page selection via hint-fault latency and automatic hot-threshold
+// adjustment targeting the promotion rate limit.
+type TieredAutoNUMA struct {
+	Patched       bool
+	MigrateBudget int64
+
+	prof *profiler.SequentialScan
+	mech migrate.Mechanism
+	// hotThreshold is the WHI above which a region is promotion-worthy;
+	// the patched variant adjusts it to track the budget.
+	hotThreshold float64
+	// HotBytesIdentified accumulates the volume the policy classified
+	// hot (Table 3).
+	HotBytesIdentified int64
+	// carry accumulates unused promotion budget across intervals.
+	carry int64
+}
+
+// NewTieredAutoNUMA returns the baseline; patched=false is the vanilla
+// variant.
+func NewTieredAutoNUMA(patched bool) *TieredAutoNUMA {
+	return &TieredAutoNUMA{
+		Patched:       patched,
+		MigrateBudget: DefaultMigrateBudget,
+		prof:          profiler.NewSequentialScan(patched),
+		mech:          migrate.MovePages{},
+		hotThreshold:  0.5,
+	}
+}
+
+func (p *TieredAutoNUMA) Name() string {
+	if p.Patched {
+		return "tiered-AutoNUMA"
+	}
+	return "vanilla tiered-AutoNUMA"
+}
+
+// Profiler exposes the underlying scan profiler (ablations, stats).
+func (p *TieredAutoNUMA) Profiler() profiler.Profiler { return p.prof }
+
+func (p *TieredAutoNUMA) Place(e *sim.Engine, v *vm.VMA, idx int, socket int) tier.NodeID {
+	return place(e, v, socket, PlaceFastFirst)
+}
+
+func (p *TieredAutoNUMA) IntervalStart(e *sim.Engine) {
+	if e.Intervals == 0 {
+		p.prof.Attach(e)
+	}
+	p.prof.IntervalStart(e)
+}
+
+func (p *TieredAutoNUMA) IntervalEnd(e *sim.Engine) {
+	p.prof.Profile(e)
+	regions := p.prof.Regions()
+	budget := p.MigrateBudget + p.carry
+	var promoted int64
+
+	for _, r := range regions {
+		if budget <= 0 {
+			break
+		}
+		hot := r.WHI > p.hotThreshold
+		if !p.Patched {
+			// Vanilla: only the most recent scan window matters and any
+			// observed access makes a candidate.
+			hot = r.Sampled && r.HI > 0
+		}
+		if !hot {
+			continue
+		}
+		p.HotBytesIdentified += r.Bytes()
+		node := nodeOf(r)
+		if node == tier.Invalid {
+			continue
+		}
+		socket := regionSocket(e, r)
+		view := e.Sys.Topo.View(socket)
+		rank := rankOf(view, node)
+		if rank <= 0 {
+			continue
+		}
+		// One tier up only; same-socket destinations are preferred by
+		// construction of the view (local nodes rank earlier).
+		dst := view[rank-1]
+		pages := r.Pages()
+		if max := int(budget / r.V.PageSize); pages > max {
+			pages = max
+		}
+		if pages == 0 {
+			break
+		}
+		need := int64(pages) * r.V.PageSize
+		if e.Sys.Free(dst) < need {
+			p.demoteFor(e, regions, dst, need-e.Sys.Free(dst), view)
+		}
+		if e.Sys.Free(dst) < need {
+			continue
+		}
+		rep := p.mech.Migrate(e, r.V, r.Start, r.Start+pages, dst, 0)
+		if rep.Bytes > 0 {
+			budget -= rep.Bytes
+			promoted += rep.Bytes
+			e.NotePromotion(rep.Bytes)
+		}
+	}
+
+	p.carry = budget - promoted
+	if p.carry > 4*p.MigrateBudget {
+		p.carry = 4 * p.MigrateBudget
+	}
+	if p.carry < 0 {
+		p.carry = 0
+	}
+	if p.Patched {
+		// Automatic hot-threshold adjustment: promote close to, but not
+		// above, the rate limit.
+		switch {
+		case promoted >= p.MigrateBudget:
+			p.hotThreshold *= 1.25
+		case promoted < p.MigrateBudget/4 && p.hotThreshold > 0.05:
+			p.hotThreshold *= 0.8
+		}
+	}
+}
+
+// demoteFor pushes the coldest regions resident on dst one tier down to
+// make room for a promotion, LRU-style: lowest WHI first.
+func (p *TieredAutoNUMA) demoteFor(e *sim.Engine, regions []*region.Region, dst tier.NodeID, need int64, view []tier.NodeID) {
+	dstRank := rankOf(view, dst)
+	if dstRank < 0 || dstRank+1 >= len(view) {
+		return
+	}
+	hist := buildHistogram(regions)
+	var freed int64
+	for _, r := range hist.ColdestFirst() {
+		if freed >= need {
+			return
+		}
+		if nodeOf(r) != dst {
+			continue
+		}
+		bytes := int64(r.Pages()) * r.V.PageSize
+		lower := tier.Invalid
+		for dr := dstRank + 1; dr < len(view); dr++ {
+			if e.Sys.Free(view[dr]) >= bytes {
+				lower = view[dr]
+				break
+			}
+		}
+		if lower == tier.Invalid {
+			continue
+		}
+		rep := p.mech.Migrate(e, r.V, r.Start, r.End, lower, 0)
+		if rep.Bytes > 0 {
+			freed += rep.Bytes
+			e.NoteDemotion(rep.Bytes)
+		}
+	}
+}

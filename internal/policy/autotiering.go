@@ -1,0 +1,150 @@
+package policy
+
+import (
+	"mtm/internal/migrate"
+	"mtm/internal/profiler"
+	"mtm/internal/region"
+	"mtm/internal/sim"
+	"mtm/internal/tier"
+	"mtm/internal/vm"
+)
+
+// AutoTiering is the ATC '21 baseline (§2.1, §9.1): random 256 MB
+// profiling windows, flexible promotion directly across tiers (unlike
+// AutoNUMA's tier-by-tier steps), but no hotness-ranked strategy — any
+// recently-accessed sampled region is a candidate — and *opportunistic
+// demotion*: when the destination is full, a random resident region is
+// pushed down regardless of its hotness, which is where it loses to MTM's
+// histogram-guided slow demotion.
+type AutoTiering struct {
+	MigrateBudget int64
+
+	prof *profiler.RandomChunk
+	mech migrate.Mechanism
+	// carry accumulates unused promotion budget across intervals.
+	carry int64
+}
+
+// NewAutoTiering returns the baseline.
+func NewAutoTiering() *AutoTiering {
+	return &AutoTiering{
+		MigrateBudget: DefaultMigrateBudget,
+		prof:          profiler.NewRandomChunk(),
+		mech:          migrate.MovePages{},
+	}
+}
+
+func (p *AutoTiering) Name() string { return "AutoTiering" }
+
+// Profiler exposes the underlying sampling profiler.
+func (p *AutoTiering) Profiler() profiler.Profiler { return p.prof }
+
+func (p *AutoTiering) Place(e *sim.Engine, v *vm.VMA, idx int, socket int) tier.NodeID {
+	return place(e, v, socket, PlaceFastFirst)
+}
+
+func (p *AutoTiering) IntervalStart(e *sim.Engine) {
+	if e.Intervals == 0 {
+		p.prof.Attach(e)
+	}
+	p.prof.IntervalStart(e)
+}
+
+func (p *AutoTiering) IntervalEnd(e *sim.Engine) {
+	p.prof.Profile(e)
+	regions := p.prof.Regions()
+	budget := p.MigrateBudget + p.carry
+	defer func() {
+		p.carry = budget
+		if p.carry > 4*p.MigrateBudget {
+			p.carry = 4 * p.MigrateBudget
+		}
+		if p.carry < 0 {
+			p.carry = 0
+		}
+	}()
+
+	for _, r := range regions {
+		if budget <= 0 {
+			return
+		}
+		// Candidate = sampled this interval and accessed at all.
+		if !r.Sampled || r.HI <= 0 {
+			continue
+		}
+		node := nodeOf(r)
+		if node == tier.Invalid {
+			continue
+		}
+		socket := regionSocket(e, r)
+		view := e.Sys.Topo.View(socket)
+		rank := rankOf(view, node)
+		if rank <= 0 {
+			continue
+		}
+		pages := r.Pages()
+		if max := int(budget / r.V.PageSize); pages > max {
+			pages = max
+		}
+		if pages == 0 {
+			return
+		}
+		need := int64(pages) * r.V.PageSize
+		// Flexible cross-tier promotion: straight to the fastest tier
+		// that has (or can opportunistically be given) space.
+		for dr := 0; dr < rank; dr++ {
+			dst := view[dr]
+			if e.Sys.Free(dst) < need {
+				p.opportunisticDemote(e, regions, dst, need-e.Sys.Free(dst), view)
+			}
+			if e.Sys.Free(dst) < need {
+				continue
+			}
+			rep := p.mech.Migrate(e, r.V, r.Start, r.Start+pages, dst, 0)
+			if rep.Bytes > 0 {
+				budget -= rep.Bytes
+				e.NotePromotion(rep.Bytes)
+			}
+			break
+		}
+	}
+}
+
+// opportunisticDemote evicts randomly chosen resident regions from dst to
+// any lower tier with room — not hotness-guided, per the paper's
+// characterisation.
+func (p *AutoTiering) opportunisticDemote(e *sim.Engine, regions []*region.Region, dst tier.NodeID, need int64, view []tier.NodeID) {
+	dstRank := rankOf(view, dst)
+	if dstRank < 0 || dstRank+1 >= len(view) {
+		return
+	}
+	var freed int64
+	// Random starting point, linear probe: cheap and exactly as
+	// unguided as the mechanism being modelled.
+	if len(regions) == 0 {
+		return
+	}
+	start := e.Rng.Intn(len(regions))
+	for i := 0; i < len(regions) && freed < need; i++ {
+		r := regions[(start+i)%len(regions)]
+		if nodeOf(r) != dst {
+			continue
+		}
+		bytes := int64(r.Pages()) * r.V.PageSize
+		lower := tier.Invalid
+		for dr := dstRank + 1; dr < len(view); dr++ {
+			if e.Sys.Free(view[dr]) >= bytes {
+				lower = view[dr]
+				break
+			}
+		}
+		if lower == tier.Invalid {
+			continue
+		}
+		rep := p.mech.Migrate(e, r.V, r.Start, r.End, lower, 0)
+		if rep.Bytes > 0 {
+			freed += rep.Bytes
+			e.NoteDemotion(rep.Bytes)
+		}
+	}
+}

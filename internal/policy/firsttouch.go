@@ -1,0 +1,40 @@
+package policy
+
+import (
+	"mtm/internal/sim"
+	"mtm/internal/tier"
+	"mtm/internal/vm"
+)
+
+// FirstTouch is the first-touch NUMA baseline: pages are allocated on the
+// fastest tier (from the faulting thread's view) with free space and never
+// migrate.
+type FirstTouch struct{}
+
+// NewFirstTouch returns the baseline.
+func NewFirstTouch() *FirstTouch { return &FirstTouch{} }
+
+func (*FirstTouch) Name() string { return "first-touch NUMA" }
+
+func (*FirstTouch) Place(e *sim.Engine, v *vm.VMA, idx int, socket int) tier.NodeID {
+	return place(e, v, socket, PlaceFastFirst)
+}
+
+func (*FirstTouch) IntervalStart(*sim.Engine) {}
+func (*FirstTouch) IntervalEnd(*sim.Engine)   {}
+
+// SlowFirst allocates everything slow-local-first and never migrates; it
+// is the "slow tier first" initial-placement arm of Table 4.
+type SlowFirst struct{}
+
+// NewSlowFirst returns the baseline.
+func NewSlowFirst() *SlowFirst { return &SlowFirst{} }
+
+func (*SlowFirst) Name() string { return "slow-tier-first (no migration)" }
+
+func (*SlowFirst) Place(e *sim.Engine, v *vm.VMA, idx int, socket int) tier.NodeID {
+	return place(e, v, socket, PlaceSlowLocalFirst)
+}
+
+func (*SlowFirst) IntervalStart(*sim.Engine) {}
+func (*SlowFirst) IntervalEnd(*sim.Engine)   {}

@@ -1,0 +1,194 @@
+package policy
+
+import (
+	"time"
+
+	"mtm/internal/migrate"
+	"mtm/internal/pebs"
+	"mtm/internal/region"
+	"mtm/internal/sim"
+	"mtm/internal/tier"
+	"mtm/internal/vm"
+)
+
+// HeMem is the SOSP '21 two-tier baseline (§2.1, §9.6): profiling relies
+// on PEBS samples alone (no PTE scans), hot pages move to local DRAM and
+// cold pages to local PM. Its two structural limits are modelled exactly
+// as the paper describes: sampling randomness misses hot pages that PTE
+// scans would confirm (§5.5), and the policy knows only two tiers — it
+// ignores remote nodes, so on a four-tier machine it leaves remote memory
+// unmanaged.
+type HeMem struct {
+	MigrateBudget int64
+	// HotSamples is the per-interval PEBS sample count above which a
+	// region is considered hot.
+	HotSamples int
+
+	set  *region.Set
+	buf  *pebs.Buffer
+	mech migrate.Mechanism
+	// carry accumulates unused promotion budget across intervals.
+	carry int64
+}
+
+// NewHeMem returns the baseline.
+func NewHeMem() *HeMem {
+	return &HeMem{
+		MigrateBudget: DefaultMigrateBudget,
+		HotSamples:    2,
+		mech:          migrate.Nimble{},
+	}
+}
+
+func (p *HeMem) Name() string { return "HeMem" }
+
+func (p *HeMem) Place(e *sim.Engine, v *vm.VMA, idx int, socket int) tier.NodeID {
+	return place(e, v, socket, PlaceLocalOnly)
+}
+
+func (p *HeMem) IntervalStart(e *sim.Engine) {
+	if e.Intervals == 0 {
+		p.set = region.NewSet(region.DefaultNumScans)
+		for _, v := range e.AS.VMAs() {
+			p.set.InitVMA(v, 2*tier.MB)
+		}
+		p.buf = pebs.NewBuffer(len(e.Sys.Topo.Nodes), 1<<16, e.Rng)
+		// HeMem samples continuously (no activation window) on both of
+		// its tiers.
+		p.buf.WindowFrac = 1.0
+		e.PEBS = p.buf
+	}
+	all := make([]tier.NodeID, len(e.Sys.Topo.Nodes))
+	for i := range all {
+		all[i] = tier.NodeID(i)
+	}
+	p.buf.Arm(all...)
+}
+
+// Regions exposes the region set for profiling-quality comparisons.
+func (p *HeMem) Regions() []*region.Region {
+	if p.set == nil {
+		return nil
+	}
+	return p.set.Regions()
+}
+
+func (p *HeMem) IntervalEnd(e *sim.Engine) {
+	p.buf.Disarm()
+	samples := p.buf.Samples()
+	counts := make(map[*region.Region]int)
+	regions := p.set.Regions()
+	for _, s := range samples {
+		if r := findRegion(regions, s.VMA, s.Page); r != nil {
+			counts[r]++
+		}
+	}
+	// Sample handling cost (HeMem's profiling is cheap; that is its
+	// selling point and its weakness).
+	e.ChargeProfiling(time.Duration(len(samples)) * 200 * time.Nanosecond)
+
+	// Exponential cooling, as in HeMem's hotset maintenance.
+	for _, r := range regions {
+		c := counts[r]
+		r.PrevHI = r.HI
+		r.HI = float64(c)
+		r.WHI = 0.5*r.WHI + 0.5*r.HI
+		r.Sampled = true
+	}
+
+	budget := p.MigrateBudget + p.carry
+	defer func() {
+		p.carry = budget
+		if p.carry > 4*p.MigrateBudget {
+			p.carry = 4 * p.MigrateBudget
+		}
+		if p.carry < 0 {
+			p.carry = 0
+		}
+	}()
+	// Promote regions with enough samples to local DRAM.
+	view := e.Sys.Topo.View(e.HomeSocket)
+	var dram, pm tier.NodeID = tier.Invalid, tier.Invalid
+	for _, n := range view {
+		local := e.Sys.Topo.Nodes[n].Socket == e.HomeSocket
+		if !local {
+			continue // two-tier world view: remote nodes do not exist
+		}
+		if e.Sys.Topo.Nodes[n].Kind == tier.DRAM && dram == tier.Invalid {
+			dram = n
+		}
+		if e.Sys.Topo.Nodes[n].Kind != tier.DRAM && pm == tier.Invalid {
+			pm = n
+		}
+	}
+	if dram == tier.Invalid || pm == tier.Invalid {
+		return
+	}
+	hist := buildHistogram(regions)
+	for _, r := range hist.HottestFirst() {
+		if budget <= 0 {
+			break
+		}
+		if r.WHI < float64(p.HotSamples) {
+			break
+		}
+		if nodeOf(r) != pm {
+			continue
+		}
+		bytes := r.Bytes()
+		if e.Sys.Free(dram) < bytes {
+			p.demoteCold(e, hist, dram, pm, bytes-e.Sys.Free(dram))
+		}
+		if e.Sys.Free(dram) < bytes {
+			break
+		}
+		rep := p.mech.Migrate(e, r.V, r.Start, r.End, dram, 0)
+		if rep.Bytes > 0 {
+			budget -= rep.Bytes
+			e.NotePromotion(rep.Bytes)
+		}
+	}
+}
+
+// demoteCold moves the coldest DRAM-resident regions to PM.
+func (p *HeMem) demoteCold(e *sim.Engine, hist *region.Histogram, dram, pm tier.NodeID, need int64) {
+	var freed int64
+	for _, r := range hist.ColdestFirst() {
+		if freed >= need {
+			return
+		}
+		if nodeOf(r) != dram {
+			continue
+		}
+		if e.Sys.Free(pm) < r.Bytes() {
+			return
+		}
+		rep := p.mech.Migrate(e, r.V, r.Start, r.End, pm, 0)
+		if rep.Bytes > 0 {
+			freed += rep.Bytes
+			e.NoteDemotion(rep.Bytes)
+		}
+	}
+}
+
+// findRegion locates the region containing page idx of v by binary search
+// over the address-ordered region list.
+func findRegion(regions []*region.Region, v *vm.VMA, idx int) *region.Region {
+	addr := v.Addr(idx)
+	lo, hi := 0, len(regions)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		r := regions[mid]
+		start := r.V.Addr(r.Start)
+		end := start + uint64(r.Bytes())
+		switch {
+		case addr < start:
+			hi = mid
+		case addr >= end:
+			lo = mid + 1
+		default:
+			return r
+		}
+	}
+	return nil
+}

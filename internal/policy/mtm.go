@@ -1,0 +1,216 @@
+package policy
+
+import (
+	"mtm/internal/migrate"
+	"mtm/internal/profiler"
+	"mtm/internal/region"
+	"mtm/internal/shm"
+	"mtm/internal/sim"
+	"mtm/internal/tier"
+	"mtm/internal/vm"
+)
+
+// MTM is the complete MTM solution (§6): any Profiler feeding a global
+// WHI histogram, the "fast promotion and slow demotion" strategy, and the
+// adaptive migration mechanism. The profiler is pluggable so the §9.3
+// ablations (Thermostat or tiered-AutoNUMA profiling + MTM migration) run
+// through the same policy code.
+type MTM struct {
+	Prof profiler.Profiler
+	Mech migrate.Mechanism
+	// MigrateBudget is N, the per-interval promotion volume (§6.1).
+	MigrateBudget int64
+	// DemoteCap bounds demotion volume per interval so a full fast tier
+	// cannot thrash; the paper's slow-demotion policy only demotes to
+	// make room.
+	DemoteCap int64
+	// Initial is the first-touch placement order (slow-local-first by
+	// default, §9.1).
+	Initial Placement
+	// Shm, when set, receives a snapshot of the profiling results at the
+	// end of every interval — the shared-memory table the §8 kernel
+	// module publishes for the user-space daemon.
+	Shm *shm.Segment
+
+	label string
+	// carry accumulates unused promotion budget so a budget smaller than
+	// one huge page still yields the configured average migration rate.
+	carry int64
+}
+
+// NewMTM assembles the paper's default MTM: adaptive profiler, adaptive
+// migration mechanism, 200 MB budget.
+//
+// Initial placement defaults to first-touch rather than the paper's
+// slow-local-first (§9.1): Table 4 shows the two converge under MTM once
+// migration has cycled the fast tiers, and at simulation scale runs are
+// short enough that starting cold would understate every MTM result.
+// Table 4's experiment sets Initial = PlaceSlowLocalFirst explicitly.
+func NewMTM() *MTM {
+	return &MTM{
+		Prof:          profiler.NewMTM(profiler.DefaultMTMConfig()),
+		Mech:          migrate.NewAdaptive(),
+		MigrateBudget: DefaultMigrateBudget,
+		DemoteCap:     2 * DefaultMigrateBudget,
+		Initial:       PlaceFastFirst,
+		label:         "MTM",
+	}
+}
+
+// NewMTMVariant assembles an MTM with a custom label, profiler and
+// mechanism (ablation studies).
+func NewMTMVariant(label string, p profiler.Profiler, m migrate.Mechanism) *MTM {
+	v := NewMTM()
+	v.Prof = p
+	v.Mech = m
+	v.label = label
+	return v
+}
+
+func (p *MTM) Name() string { return p.label }
+
+func (p *MTM) Place(e *sim.Engine, v *vm.VMA, idx int, socket int) tier.NodeID {
+	return place(e, v, socket, p.Initial)
+}
+
+func (p *MTM) IntervalStart(e *sim.Engine) {
+	if e.Intervals == 0 {
+		p.Prof.Attach(e)
+	}
+	p.Prof.IntervalStart(e)
+}
+
+func (p *MTM) IntervalEnd(e *sim.Engine) {
+	p.Prof.Profile(e)
+	regions := p.Prof.Regions()
+	if len(regions) == 0 {
+		return
+	}
+	if p.Shm != nil {
+		t := shm.FromRegions(uint64(e.Intervals), regions, func(r *region.Region) int32 {
+			return int32(nodeOf(r))
+		})
+		// A full table is dropped rather than blocking the interval,
+		// like a missed publish in the real system.
+		_ = p.Shm.Publish(t)
+	}
+	hist := buildHistogram(regions)
+	p.promote(e, hist)
+}
+
+// promote walks the histogram hottest-first and moves regions directly to
+// the fastest tier of their dominant socket's view ("fast promotion"),
+// demoting the coldest residents one tier down when space is needed
+// ("slow demotion"). Migration volume is capped at MigrateBudget per
+// interval; unused budget carries over so rates hold at any granularity.
+func (p *MTM) promote(e *sim.Engine, hist *region.Histogram) {
+	budget := p.MigrateBudget + p.carry
+	spent := int64(0)
+	demoteBudget := p.DemoteCap
+	for _, r := range hist.HottestFirst() {
+		if budget-spent < r.V.PageSize {
+			break
+		}
+		if r.WHI <= 0 {
+			break // everything hotter is placed; the rest is cold
+		}
+		socket := regionSocket(e, r)
+		view := e.Sys.Topo.View(socket)
+		// worstRank is the slowest placement of any page in the region;
+		// partially promoted regions keep their remainder eligible.
+		worstRank := 0
+		for i := r.Start; i < r.End; i++ {
+			if !r.V.Present(i) {
+				continue
+			}
+			if rk := rankOf(view, r.V.Node(i)); rk > worstRank {
+				worstRank = rk
+			}
+		}
+		if worstRank <= 0 {
+			continue // already in the fastest tier for its accessors
+		}
+		maxPages := int((budget - spent) / r.V.PageSize)
+		// Fast promotion: straight to the top tier, then 2nd-fastest,
+		// etc., with room made by slow demotion on the way.
+		for dstRank := 0; dstRank < worstRank; dstRank++ {
+			dst := view[dstRank]
+			need := int64(minInt(maxPages, r.Pages())) * r.V.PageSize
+			if e.Sys.Free(dst) < need {
+				demoted := p.makeRoom(e, hist, dst, need-e.Sys.Free(dst), view, demoteBudget, r.WHI)
+				demoteBudget -= demoted
+			}
+			if e.Sys.Free(dst) < r.V.PageSize {
+				continue // try the next-fastest tier
+			}
+			rep := p.Mech.Migrate(e, r.V, r.Start, r.End, dst, maxPages)
+			if rep.Bytes > 0 {
+				spent += rep.Bytes
+				e.NotePromotion(rep.Bytes)
+			}
+			break
+		}
+	}
+	p.carry = budget - spent
+	if p.carry > 4*p.MigrateBudget {
+		p.carry = 4 * p.MigrateBudget // nothing promotable: don't hoard
+	}
+	if p.carry < 0 {
+		p.carry = 0
+	}
+}
+
+// makeRoom demotes the coldest regions resident on node to the next lower
+// tier with space, until freed bytes are available or the demotion budget
+// runs out. Victims must be strictly colder than the promotion candidate
+// (candidateWHI): slow demotion never evicts pages likelier to be accessed
+// than what replaces them (§6.2). It returns the bytes demoted.
+func (p *MTM) makeRoom(e *sim.Engine, hist *region.Histogram, node tier.NodeID, need int64, view []tier.NodeID, budget int64, candidateWHI float64) int64 {
+	if budget <= 0 {
+		return 0
+	}
+	nodeRank := rankOf(view, node)
+	var demoted int64
+	for _, r := range hist.ColdestFirst() {
+		if demoted >= need || demoted >= budget {
+			break
+		}
+		if r.WHI >= candidateWHI {
+			break // only hotter-or-equal regions remain on this node
+		}
+		if nodeOf(r) != node {
+			continue
+		}
+		// Demote no more than the remaining need/budget allows, even
+		// from a large region, and only to a lower tier with room.
+		remaining := need - demoted
+		if b := budget - demoted; b < remaining {
+			remaining = b
+		}
+		maxPages := int((remaining + r.V.PageSize - 1) / r.V.PageSize)
+		bytes := int64(minInt(maxPages, r.Pages())) * r.V.PageSize
+		var dst tier.NodeID = tier.Invalid
+		for dr := nodeRank + 1; dr < len(view); dr++ {
+			if e.Sys.Free(view[dr]) >= bytes {
+				dst = view[dr]
+				break
+			}
+		}
+		if dst == tier.Invalid {
+			continue
+		}
+		rep := p.Mech.Migrate(e, r.V, r.Start, r.End, dst, maxPages)
+		if rep.Bytes > 0 {
+			demoted += rep.Bytes
+			e.NoteDemotion(rep.Bytes)
+		}
+	}
+	return demoted
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,123 @@
+// Package policy implements the complete page-management solutions the
+// paper evaluates: MTM itself (§6) and the baselines — first-touch NUMA,
+// hardware-managed caching (Optane Memory Mode), tiered-AutoNUMA (vanilla
+// and patched), AutoTiering, and HeMem. Every solution wires a profiler
+// and a migration mechanism into the sim.Solution interface.
+package policy
+
+import (
+	"mtm/internal/profiler"
+	"mtm/internal/region"
+	"mtm/internal/sim"
+	"mtm/internal/tier"
+	"mtm/internal/vm"
+)
+
+// DefaultMigrateBudget is N, the per-interval migration volume cap
+// (200 MB in the paper's evaluation, §6.1).
+const DefaultMigrateBudget = 200 * tier.MB
+
+// Placement selects an initial page-placement order.
+type Placement int
+
+const (
+	// PlaceFastFirst is first-touch NUMA: the fastest tier with space,
+	// in the faulting socket's view order.
+	PlaceFastFirst Placement = iota
+	// PlaceSlowLocalFirst is MTM's default (§9.1): CPU-less (slow)
+	// nodes first, preferring local, then fast nodes.
+	PlaceSlowLocalFirst
+	// PlaceLocalOnly restricts placement to the faulting socket's local
+	// nodes, fast first (HeMem's two-tier world view).
+	PlaceLocalOnly
+	// PlaceSlowOnly places everything on slow (CPU-less) nodes; the
+	// hardware-cache baseline backs all pages with PM.
+	PlaceSlowOnly
+)
+
+// place resolves a Placement to a node with room for one page of v.
+func place(e *sim.Engine, v *vm.VMA, socket int, p Placement) tier.NodeID {
+	view := e.Sys.Topo.View(socket)
+	switch p {
+	case PlaceFastFirst:
+		return e.Sys.FirstFit(view, v.PageSize)
+	case PlaceSlowLocalFirst:
+		order := make([]tier.NodeID, 0, len(view))
+		for _, n := range view {
+			if e.Sys.Topo.Nodes[n].Kind != tier.DRAM {
+				order = append(order, n)
+			}
+		}
+		for _, n := range view {
+			if e.Sys.Topo.Nodes[n].Kind == tier.DRAM {
+				order = append(order, n)
+			}
+		}
+		return e.Sys.FirstFit(order, v.PageSize)
+	case PlaceLocalOnly:
+		order := make([]tier.NodeID, 0, len(view))
+		for _, n := range view {
+			if e.Sys.Topo.Nodes[n].Socket == socket {
+				order = append(order, n)
+			}
+		}
+		if n := e.Sys.FirstFit(order, v.PageSize); n != tier.Invalid {
+			return n
+		}
+		return e.Sys.FirstFit(view, v.PageSize) // overflow rather than OOM
+	case PlaceSlowOnly:
+		order := make([]tier.NodeID, 0, len(view))
+		for _, n := range view {
+			if e.Sys.Topo.Nodes[n].Kind != tier.DRAM {
+				order = append(order, n)
+			}
+		}
+		if n := e.Sys.FirstFit(order, v.PageSize); n != tier.Invalid {
+			return n
+		}
+		return e.Sys.FirstFit(view, v.PageSize)
+	}
+	return e.Sys.FirstFit(view, v.PageSize)
+}
+
+// regionSocket is the socket whose threads access region r the most,
+// approximated by the last-accessor hint of its first present page — the
+// §6.2 multi-view arbitration channel (hint faults reveal the accessing
+// CPU). Falls back to the engine's home socket for untouched regions.
+func regionSocket(e *sim.Engine, r *region.Region) int {
+	for i := r.Start; i < r.End; i++ {
+		if r.V.Present(i) {
+			return r.V.LastSocket(i)
+		}
+	}
+	return e.HomeSocket
+}
+
+// rankOf returns node's position in view, or -1.
+func rankOf(view []tier.NodeID, node tier.NodeID) int {
+	for i, n := range view {
+		if n == node {
+			return i
+		}
+	}
+	return -1
+}
+
+// maxWHI returns the histogram scale for a region list.
+func maxWHI(regions []*region.Region) float64 {
+	m := 1.0
+	for _, r := range regions {
+		if r.WHI > m {
+			m = r.WHI
+		}
+	}
+	return m
+}
+
+// buildHistogram is the shared WHI histogram constructor (32 buckets).
+func buildHistogram(regions []*region.Region) *region.Histogram {
+	return region.NewHistogram(regions, 32, maxWHI(regions))
+}
+
+// nodeOf returns the node currently holding region r, or Invalid.
+func nodeOf(r *region.Region) tier.NodeID { return profiler.RegionNode(r) }

@@ -1,0 +1,433 @@
+package profiler
+
+import (
+	"time"
+
+	"mtm/internal/pebs"
+	"mtm/internal/region"
+	"mtm/internal/sim"
+	"mtm/internal/tier"
+	"mtm/internal/vm"
+)
+
+// MTMConfig carries the tunables of the MTM adaptive profiler. The zero
+// value is not usable; start from DefaultMTMConfig.
+type MTMConfig struct {
+	// OverheadTarget is the profiling-overhead constraint as a fraction
+	// of execution time (§5.3; 5% in the paper's evaluation).
+	OverheadTarget float64
+	// NumScans is the number of PTE scans per sampled page per interval
+	// (§5.1; constant 3 in the paper).
+	NumScans int
+	// Alpha weighs current vs historical hotness in the EMA (Equation 2).
+	Alpha float64
+	// RegionBytes is the initial region granularity (2 MB).
+	RegionBytes int64
+	// ScanWindowFrac is the observation window of one PTE scan as a
+	// fraction of the profiling interval: MTM paces its num_scans scans
+	// ~30 ms apart within a 10 s interval, so each scan's accessed bit
+	// covers ~0.3% of it. This is what turns the binary bit into a rate
+	// signal (see vm.ObserveScans).
+	ScanWindowFrac float64
+	// TauM and TauS override the merge/split thresholds; negative values
+	// select the defaults num_scans/3 and 2*num_scans/3.
+	TauM, TauS float64
+
+	// Feature switches for the §9.3 ablations.
+	UsePEBS          bool // performance counter-assisted PTE scan (§5.5)
+	AdaptiveRegions  bool // merge/split region formation ("AMR")
+	AdaptiveSampling bool // variance-guided quota redistribution ("APS")
+	OverheadControl  bool // Equation 1 budget + τm escalation ("OC")
+}
+
+// DefaultMTMConfig returns the paper's evaluation configuration.
+func DefaultMTMConfig() MTMConfig {
+	return MTMConfig{
+		OverheadTarget:   0.05,
+		NumScans:         region.DefaultNumScans,
+		Alpha:            0.5,
+		RegionBytes:      DefaultRegionBytes,
+		ScanWindowFrac:   0.003,
+		TauM:             -1,
+		TauS:             -1,
+		UsePEBS:          true,
+		AdaptiveRegions:  true,
+		AdaptiveSampling: true,
+		OverheadControl:  true,
+	}
+}
+
+// MTM is the adaptive memory profiler of §5: overhead control connected
+// directly to the number of PTE scans (Equation 1), multi-scan sampling,
+// variance-guided sample redistribution, hotness-guided region formation
+// with huge-page alignment, and PEBS-assisted event-driven profiling of
+// the slow tiers.
+type MTM struct {
+	Cfg MTMConfig
+
+	set     *region.Set
+	topVar  *region.TopVariance
+	buf     *pebs.Buffer
+	budget  int     // num_ps from Equation 1
+	tauMEsc float64 // temporary τm escalation for overhead control
+	scans   int64   // PTE scans performed (cumulative, for tests)
+
+	pmNodes  []tier.NodeID // nodes profiled event-driven via PEBS
+	isPMNode []bool        // indexed by NodeID
+}
+
+// NewMTM creates the profiler with the given config.
+func NewMTM(cfg MTMConfig) *MTM {
+	if cfg.NumScans <= 0 {
+		cfg.NumScans = region.DefaultNumScans
+	}
+	if cfg.ScanWindowFrac <= 0 {
+		cfg.ScanWindowFrac = 0.003
+	}
+	return &MTM{Cfg: cfg, topVar: region.NewTopVariance(5)}
+}
+
+func (m *MTM) Name() string { return "mtm-profiler" }
+
+// Set returns the underlying region set (formation statistics, tests).
+func (m *MTM) Set() *region.Set { return m.set }
+
+// Budget returns num_ps, the page-sample budget of Equation 1.
+func (m *MTM) Budget() int { return m.budget }
+
+// Scans returns the cumulative number of PTE scans performed.
+func (m *MTM) Scans() int64 { return m.scans }
+
+func (m *MTM) Attach(e *sim.Engine) {
+	m.set = region.NewSet(m.Cfg.NumScans)
+	if m.Cfg.TauM >= 0 {
+		m.set.TauM = m.Cfg.TauM
+	}
+	if m.Cfg.TauS >= 0 {
+		m.set.TauS = m.Cfg.TauS
+	}
+	initRegions(e, m.set, m.Cfg.RegionBytes)
+	// Equation 1: num_ps = t_mi * overhead_target / (one_scan_overhead * num_scans).
+	m.budget = int(float64(e.Interval) * m.Cfg.OverheadTarget /
+		(float64(MTMScanCost) * float64(m.Cfg.NumScans)))
+	if m.budget < 1 {
+		m.budget = 1
+	}
+	// Slow (CPU-less / PM / CXL) nodes are profiled event-driven.
+	m.isPMNode = make([]bool, len(e.Sys.Topo.Nodes))
+	for i, n := range e.Sys.Topo.Nodes {
+		if n.Kind != tier.DRAM {
+			m.pmNodes = append(m.pmNodes, tier.NodeID(i))
+			m.isPMNode[i] = true
+		}
+	}
+	if m.Cfg.UsePEBS && len(m.pmNodes) > 0 {
+		m.buf = pebs.NewBuffer(len(e.Sys.Topo.Nodes), 1<<16, e.Rng)
+		e.PEBS = m.buf
+	}
+}
+
+func (m *MTM) IntervalStart(e *sim.Engine) {
+	if m.buf != nil {
+		m.buf.Arm(m.pmNodes...)
+	}
+}
+
+func (m *MTM) Regions() []*region.Region {
+	if m.set == nil {
+		return nil
+	}
+	return m.set.Regions()
+}
+
+// Profile implements the §5 pipeline for one interval.
+func (m *MTM) Profile(e *sim.Engine) {
+	m.set.BeginInterval()
+	regions := m.set.Regions()
+
+	// Map PEBS samples to regions so slow-tier regions with observed
+	// traffic get event-driven PTE-scan profiling (§5.5). The sampled
+	// pages themselves are kept: §5.2 profiles "specifically the page
+	// captured by the performance counters", which is what points the
+	// PTE scans at the hot spots inside a large region.
+	var pebsHits map[*region.Region]int
+	var pebsPages map[*region.Region][]int
+	if m.buf != nil {
+		m.buf.Disarm()
+		pebsHits = make(map[*region.Region]int)
+		pebsPages = make(map[*region.Region][]int)
+		samples := m.buf.Samples()
+		for _, s := range samples {
+			if r := findRegion(regions, s.VMA, s.Page); r != nil {
+				pebsHits[r]++
+				if pp := pebsPages[r]; len(pp) < 4 && !containsInt(pp, s.Page) {
+					pebsPages[r] = append(pp, s.Page)
+				}
+			}
+		}
+		// PEBS runtime overhead is <1% (§9.3); charge a small per-sample
+		// handling cost.
+		e.ChargeProfiling(time.Duration(len(samples)) * 100 * time.Nanosecond)
+	}
+
+	// Decide which regions to profile and trim quotas to budget.
+	profiled := m.profiledSet(regions, pebsHits)
+	m.enforceQuota(e, regions, profiled)
+
+	// Scan.
+	var totalScans int64
+	for _, r := range regions {
+		if !profiled[r] {
+			// Event-driven: no PEBS event means no observed traffic;
+			// the region is cold this interval without spending scans.
+			r.PrevHI = r.HI
+			r.HI = 0
+			r.Samples = r.Samples[:0]
+			r.Observed = r.Observed[:0]
+			r.Sampled = true
+			continue
+		}
+		n := r.Quota
+		if n < 1 {
+			n = 1
+		}
+		var pages []int
+		if pp := pebsPages[r]; len(pp) > 0 {
+			// PEBS-captured pages first (§5.2), random samples for the
+			// remaining quota.
+			pages = append(pages, pp...)
+			if n > len(pages) {
+				pages = append(pages, samplePages(e, r.Start, r.End, n-len(pages))...)
+			}
+		} else {
+			pages = samplePages(e, r.Start, r.End, n)
+		}
+		r.Samples = pages
+		r.Observed = r.Observed[:0]
+		sum := 0
+		for _, p := range pages {
+			obs := vm.ObserveScans(r.V, p, m.Cfg.NumScans, m.Cfg.ScanWindowFrac, e.Rng)
+			r.Observed = append(r.Observed, obs)
+			sum += obs
+		}
+		totalScans += int64(len(pages) * m.Cfg.NumScans)
+		r.PrevHI = r.HI
+		if len(pages) > 0 {
+			r.HI = float64(sum) / float64(len(pages))
+		} else {
+			r.HI = 0
+		}
+		r.Sampled = true
+	}
+	m.scans += totalScans
+	e.ChargeProfiling(time.Duration(totalScans) * MTMScanCost)
+
+	// Time-consecutive profiling: EMA update and variance tracking.
+	m.topVar.Reset()
+	for _, r := range regions {
+		r.UpdateEMA(m.Cfg.Alpha)
+		m.topVar.Offer(r)
+	}
+
+	// Region formation (§5.1) with overhead control (§5.3).
+	if m.Cfg.AdaptiveRegions {
+		tauM := m.set.TauM + m.tauMEsc
+		freed := m.set.MergePass(tauM)
+		m.set.SplitPass(m.set.TauS)
+		m.redistribute(e, freed)
+	}
+	if m.Cfg.OverheadControl {
+		if m.set.Len() > m.budget {
+			// Too many regions for one sample each: escalate τm
+			// gradually across intervals (§5.3).
+			m.tauMEsc += m.set.TauM/2 + 0.05
+		} else {
+			m.tauMEsc = 0
+		}
+	}
+}
+
+// profiledSet decides which regions receive PTE scans this interval: with
+// PEBS assistance, slow-tier regions only when the counters saw traffic;
+// all fast-tier regions always (§5.2 "initial page sampling").
+func (m *MTM) profiledSet(regions []*region.Region, pebsHits map[*region.Region]int) map[*region.Region]bool {
+	usePEBS := m.Cfg.UsePEBS && m.buf != nil
+	out := make(map[*region.Region]bool, len(regions))
+	for _, r := range regions {
+		if !usePEBS {
+			out[r] = true
+			continue
+		}
+		node := RegionNode(r)
+		if node == tier.Invalid {
+			continue // nothing mapped yet
+		}
+		if m.isPMNode[node] {
+			out[r] = pebsHits[r] > 0
+		} else {
+			out[r] = true
+		}
+	}
+	return out
+}
+
+func (m *MTM) enforceQuota(e *sim.Engine, regions []*region.Region, profiled map[*region.Region]bool) {
+	total := 0
+	for _, r := range regions {
+		if profiled[r] {
+			if r.Quota < 1 {
+				r.Quota = 1
+			}
+			total += r.Quota
+		}
+	}
+	if !m.Cfg.OverheadControl {
+		return
+	}
+	// Trim: reclaim extra quota from the largest holders until the
+	// budget holds (or every region is at the 1-sample floor).
+	for total > m.budget {
+		trimmed := false
+		for _, r := range regions {
+			if total <= m.budget {
+				break
+			}
+			if profiled[r] && r.Quota > 1 {
+				r.Quota--
+				total--
+				trimmed = true
+			}
+		}
+		if !trimmed {
+			break
+		}
+	}
+	// Grow: spend leftover budget on the most variable regions first
+	// (§5.2), then spread the rest across all profiled regions — more
+	// samples per region directly cut hotness-estimation noise, which is
+	// the profiling quality the scan budget buys.
+	spare := m.budget - total
+	if spare <= 0 {
+		return
+	}
+	if m.Cfg.AdaptiveSampling {
+		tops := m.topVar.Regions()
+		boost := spare / 4
+		for boost > 0 {
+			grew := false
+			for _, r := range tops {
+				if boost == 0 {
+					break
+				}
+				if profiled[r] && r.Quota < r.Pages() {
+					r.Quota++
+					boost--
+					spare--
+					grew = true
+				}
+			}
+			if !grew {
+				break
+			}
+		}
+		for spare > 0 {
+			grew := false
+			for _, r := range regions {
+				if spare == 0 {
+					break
+				}
+				if profiled[r] && r.Quota < r.Pages() {
+					r.Quota++
+					spare--
+					grew = true
+				}
+			}
+			if !grew {
+				break
+			}
+		}
+		return
+	}
+	// Ablation: random distribution of the same scan budget.
+	var cand []*region.Region
+	for _, r := range regions {
+		if profiled[r] && r.Quota < r.Pages() {
+			cand = append(cand, r)
+		}
+	}
+	for spare > 0 && len(cand) > 0 {
+		i := e.Rng.Intn(len(cand))
+		r := cand[i]
+		r.Quota++
+		spare--
+		if r.Quota >= r.Pages() {
+			cand[i] = cand[len(cand)-1]
+			cand = cand[:len(cand)-1]
+		}
+	}
+}
+
+// redistribute hands quota freed by merging to the top-variance regions
+// (§5.2). Without adaptive sampling the quota is simply dropped back into
+// the pool (enforceQuota re-spreads it next interval).
+func (m *MTM) redistribute(e *sim.Engine, freed int) {
+	if freed <= 0 || !m.Cfg.AdaptiveSampling {
+		return
+	}
+	tops := m.topVar.Regions()
+	for freed > 0 && len(tops) > 0 {
+		grew := false
+		for _, r := range tops {
+			if freed == 0 {
+				break
+			}
+			if r.Quota < r.Pages() {
+				r.Quota++
+				freed--
+				grew = true
+			}
+		}
+		if !grew {
+			return
+		}
+	}
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// findRegion locates the region containing page idx of v via binary search
+// over the address-ordered region slice.
+func findRegion(regions []*region.Region, v *vm.VMA, idx int) *region.Region {
+	addr := v.Addr(idx)
+	lo, hi := 0, len(regions)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		r := regions[mid]
+		rStart := r.V.Addr(r.Start)
+		rEnd := r.V.Addr(r.Start) + uint64(r.Bytes())
+		switch {
+		case addr < rStart:
+			hi = mid
+		case addr >= rEnd:
+			lo = mid + 1
+		default:
+			return r
+		}
+	}
+	return nil
+}
+
+// MemoryOverheadBytes estimates MTM's metadata footprint (Table 5): per
+// region, two hotness floats, the address range, the quota, and a hash-map
+// slot for address indexing.
+func (m *MTM) MemoryOverheadBytes() int64 {
+	const perRegion = 2*8 + 16 + 8 + 32
+	return int64(m.set.Len()) * perRegion
+}

@@ -1,0 +1,156 @@
+// Package profiler implements the memory-profiling mechanisms compared in
+// the MTM paper: MTM's adaptive profiler (§5), Linux DAMON, Thermostat's
+// page-protection sampling, AutoTiering's random address-space sampling,
+// and tiered-AutoNUMA's sequential hint-fault scan.
+//
+// All profilers observe memory through the same PTE primitives
+// (vm.ObserveScans / VMA.ScanAndClear), so differences in profiling
+// quality emerge from their mechanisms — sample placement, scan counts,
+// region formation — exactly as in the paper, not from privileged access
+// to ground truth.
+package profiler
+
+import (
+	"time"
+
+	"mtm/internal/region"
+	"mtm/internal/sim"
+	"mtm/internal/tier"
+)
+
+// Cost model constants. one_scan_overhead is "measured offline" in the
+// paper (§5.3); the absolute value only scales profiling overhead against
+// the virtual clock, while every comparison keeps the published ratios:
+// a NUMA hint fault costs 12 PTE scans (§6.2) and Thermostat's
+// protection-fault counting is several times a plain scan (§9.3).
+const (
+	// OneScanOverhead is the cost of scanning (read + conditionally
+	// clear) a single PTE without a TLB flush.
+	OneScanOverhead = 600 * time.Nanosecond
+	// HintFaultCost is one NUMA hint fault, 12x a PTE scan (§6.2).
+	HintFaultCost = 12 * OneScanOverhead
+	// MTMScanCost folds the amortised hint fault (one per 12 scans,
+	// §6.2) into the per-scan cost used by Equation 1.
+	MTMScanCost = OneScanOverhead + HintFaultCost/12
+	// ProtFaultCost is one write/read protection fault taken by
+	// Thermostat-style access counting.
+	ProtFaultCost = 4 * OneScanOverhead
+	// DefaultRegionBytes is the default region granularity: the span of
+	// one last-level page-directory entry, 2 MB (§5.1).
+	DefaultRegionBytes = 2 * tier.MB
+)
+
+// Profiler is a memory-profiling mechanism. Profile runs at the end of a
+// profiling interval: it inspects PTEs (charging its cost to the engine),
+// updates its region set, and leaves per-region hotness in Regions().
+type Profiler interface {
+	Name() string
+	// Attach prepares the profiler for the engine's address space. It
+	// must be called after the workload allocated its VMAs.
+	Attach(e *sim.Engine)
+	// IntervalStart runs before the application executes (PEBS arming).
+	IntervalStart(e *sim.Engine)
+	// Profile runs the interval's PTE scans and updates region hotness.
+	Profile(e *sim.Engine)
+	// Regions exposes the current region set for the migration policy
+	// and for profiling-quality metrics.
+	Regions() []*region.Region
+}
+
+// RegionNode returns the memory node holding region r, defined as the node
+// of its first present page (regions migrate as a unit, so pages of a
+// region share a node except transiently). Invalid if nothing is present.
+func RegionNode(r *region.Region) tier.NodeID {
+	for i := r.Start; i < r.End; i++ {
+		if r.V.Present(i) {
+			return r.V.Node(i)
+		}
+	}
+	return tier.Invalid
+}
+
+// RegionPresentBytes returns the bytes of r that have physical frames.
+func RegionPresentBytes(r *region.Region) int64 {
+	var b int64
+	for i := r.Start; i < r.End; i++ {
+		if r.V.Present(i) {
+			b += r.V.PageSize
+		}
+	}
+	return b
+}
+
+// HotBytes selects regions from hottest WHI down until covering want
+// bytes, returning the selected regions. It is the common "label the top
+// of the histogram hot" step used by detection-quality metrics.
+func HotBytes(regions []*region.Region, want int64) []*region.Region {
+	h := region.NewHistogram(regions, 32, maxWHI(regions))
+	var out []*region.Region
+	var got int64
+	for _, r := range h.HottestFirst() {
+		if got >= want {
+			break
+		}
+		if r.WHI <= 0 {
+			break
+		}
+		out = append(out, r)
+		got += r.Bytes()
+	}
+	return out
+}
+
+func maxWHI(regions []*region.Region) float64 {
+	m := 1.0
+	for _, r := range regions {
+		if r.WHI > m {
+			m = r.WHI
+		}
+	}
+	return m
+}
+
+// initRegions carves every VMA of the address space into default-size
+// regions.
+func initRegions(e *sim.Engine, set *region.Set, regionBytes int64) {
+	for _, v := range e.AS.VMAs() {
+		set.InitVMA(v, regionBytes)
+	}
+}
+
+// samplePages picks n distinct page indices in [start, end) uniformly at
+// random (with a fallback to stride sampling when n approaches the range
+// size). The engine RNG keeps runs deterministic.
+func samplePages(e *sim.Engine, start, end, n int) []int {
+	span := end - start
+	if n >= span {
+		out := make([]int, span)
+		for i := range out {
+			out[i] = start + i
+		}
+		return out
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]int, 0, n)
+	if n*4 >= span {
+		// Dense: stride with a random phase avoids rejection loops.
+		stride := span / n
+		phase := e.Rng.Intn(stride)
+		for i := 0; i < n; i++ {
+			out = append(out, start+phase+i*stride)
+		}
+		return out
+	}
+	seen := make(map[int]struct{}, n)
+	for len(out) < n {
+		p := start + e.Rng.Intn(span)
+		if _, ok := seen[p]; ok {
+			continue
+		}
+		seen[p] = struct{}{}
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package profiler
+
+import (
+	"time"
+
+	"mtm/internal/region"
+	"mtm/internal/sim"
+	"mtm/internal/vm"
+)
+
+// ChunkBytes is the virtual-address span AutoTiering and tiered-AutoNUMA
+// profile per interval (256 MB in the paper §9.3).
+const ChunkBytes = 256 * (1 << 20)
+
+// scanWindow is the observation window of a hint-fault latency check as a
+// fraction of the interval: the patched hot-page-selection heuristic
+// compares consecutive fault timestamps, giving it some rate sensitivity,
+// but over far coarser windows than MTM's paced PTE scans.
+const scanWindow = 0.05
+
+// RandomChunk is the AutoTiering profiling baseline: each interval it
+// randomly chooses a contiguous 256 MB span of the address space and
+// tracks accesses to every page in it by manipulating present bits and
+// counting the resulting page faults (one observation per page). Coverage
+// is random, so hot pages outside the chosen window stay invisible — the
+// "uncontrolled profiling quality" of §3.
+type RandomChunk struct {
+	Alpha float64
+
+	set   *region.Set
+	scans int64
+}
+
+// NewRandomChunk creates the AutoTiering-style profiler.
+func NewRandomChunk() *RandomChunk { return &RandomChunk{Alpha: 0.5} }
+
+func (p *RandomChunk) Name() string { return "autotiering-sampling" }
+
+// Set exposes the region set.
+func (p *RandomChunk) Set() *region.Set { return p.set }
+
+func (p *RandomChunk) Attach(e *sim.Engine) {
+	p.set = region.NewSet(region.DefaultNumScans)
+	initRegions(e, p.set, DefaultRegionBytes)
+}
+
+func (p *RandomChunk) IntervalStart(*sim.Engine) {}
+
+func (p *RandomChunk) Regions() []*region.Region {
+	if p.set == nil {
+		return nil
+	}
+	return p.set.Regions()
+}
+
+func (p *RandomChunk) Profile(e *sim.Engine) {
+	p.set.BeginInterval()
+	regions := p.set.Regions()
+	if len(regions) == 0 {
+		return
+	}
+	// Pick a random contiguous run of regions covering ~ChunkBytes.
+	start := e.Rng.Intn(len(regions))
+	var covered int64
+	var scans int64
+	for i := start; i < len(regions) && covered < ChunkBytes; i++ {
+		r := regions[i]
+		covered += r.Bytes()
+		sum, ns := 0, 0
+		for pg := r.Start; pg < r.End; pg++ {
+			sum += vm.ObserveScans(r.V, pg, 1, 1.0, e.Rng)
+			ns++
+		}
+		scans += int64(ns)
+		r.PrevHI = r.HI
+		if ns > 0 {
+			// Scale the fraction-of-pages-accessed into scan units so
+			// thresholds and histograms are comparable across profilers.
+			r.HI = float64(sum) / float64(ns) * float64(p.set.NumScans)
+		}
+		r.Sampled = true
+		r.UpdateEMA(p.Alpha)
+	}
+	p.scans += scans
+	// Present-bit profiling takes a fault per observed page on top of
+	// the PTE write; charge scan + fault cost per page.
+	e.ChargeProfiling(time.Duration(scans) * (OneScanOverhead + ProtFaultCost/2))
+}
+
+// SequentialScan is the tiered-AutoNUMA profiling baseline: a scan pointer
+// walks the address space 256 MB per interval, unmapping PTEs so the next
+// access takes a NUMA hint fault that reveals the accessing CPU and, with
+// the hot-page-selection patch, the access latency used for hotness
+// classification. Patched mode keeps an EMA so repeatedly-hot pages
+// accumulate score; vanilla mode uses only the latest interval.
+type SequentialScan struct {
+	// Patched selects the two upstream patches of §9 (hot-page selection
+	// + auto threshold); vanilla tiered-AutoNUMA sets it false.
+	Patched bool
+	Alpha   float64
+
+	set    *region.Set
+	cursor int
+	faults int64
+}
+
+// NewSequentialScan creates the tiered-AutoNUMA-style profiler.
+func NewSequentialScan(patched bool) *SequentialScan {
+	a := 1.0
+	if patched {
+		a = 0.5
+	}
+	return &SequentialScan{Patched: patched, Alpha: a}
+}
+
+func (p *SequentialScan) Name() string {
+	if p.Patched {
+		return "tiered-autonuma-scan"
+	}
+	return "vanilla-autonuma-scan"
+}
+
+// Set exposes the region set.
+func (p *SequentialScan) Set() *region.Set { return p.set }
+
+func (p *SequentialScan) Attach(e *sim.Engine) {
+	p.set = region.NewSet(region.DefaultNumScans)
+	initRegions(e, p.set, DefaultRegionBytes)
+}
+
+func (p *SequentialScan) IntervalStart(*sim.Engine) {}
+
+func (p *SequentialScan) Regions() []*region.Region {
+	if p.set == nil {
+		return nil
+	}
+	return p.set.Regions()
+}
+
+func (p *SequentialScan) Profile(e *sim.Engine) {
+	p.set.BeginInterval()
+	regions := p.set.Regions()
+	if len(regions) == 0 {
+		return
+	}
+	var covered int64
+	var faults int64
+	scansPerPage := 1
+	if p.Patched {
+		// The hot-page-selection patch uses hint-fault latency over
+		// repeated touches, distinguishing "accessed once" from
+		// "accessed often" better than a single present-bit check.
+		scansPerPage = 2
+	}
+	for covered < ChunkBytes {
+		r := regions[p.cursor%len(regions)]
+		p.cursor++
+		covered += r.Bytes()
+		sum, ns := 0, 0
+		for pg := r.Start; pg < r.End; pg++ {
+			sum += vm.ObserveScans(r.V, pg, scansPerPage, scanWindow, e.Rng)
+			ns++
+		}
+		faults += int64(ns)
+		r.PrevHI = r.HI
+		if ns > 0 {
+			r.HI = float64(sum) / float64(ns) * float64(p.set.NumScans) / float64(scansPerPage)
+		}
+		r.Sampled = true
+		r.UpdateEMA(p.Alpha)
+		if p.cursor >= 1<<30 {
+			p.cursor = p.cursor % len(regions)
+		}
+	}
+	p.faults += faults
+	// Hint faults are 12x a PTE scan (§6.2); AutoNUMA's profiling cost
+	// is dominated by them.
+	e.ChargeProfiling(time.Duration(faults) * HintFaultCost / 4)
+}

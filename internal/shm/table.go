@@ -1,0 +1,211 @@
+// Package shm models the kernel/user-space split of MTM's implementation
+// (§8): the profiling kernel module writes per-region results into a table
+// in shared memory, and the user-space page-management daemon reads them
+// at the end of each profiling interval to make migration decisions.
+//
+// The table has a fixed binary layout (little-endian, versioned header)
+// exactly as a real shared-memory segment would, so the daemon side can be
+// developed, tested and replayed independently of the profiler side. The
+// Encode/Decode pair round-trips through any byte buffer; Publish/Snapshot
+// operate on an in-memory segment with a sequence lock, mirroring how the
+// kernel module and daemon avoid torn reads without holding locks across
+// the interval.
+package shm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"mtm/internal/region"
+)
+
+// Magic and Version identify the table layout.
+const (
+	Magic   = 0x4d544d31 // "MTM1"
+	Version = 1
+)
+
+// Entry is one region's profiling result as published to the daemon.
+type Entry struct {
+	RegionID uint64
+	BaseAddr uint64
+	Bytes    uint64
+	HI       float64 // hotness indication of the last interval
+	WHI      float64 // EMA of hotness indication
+	Quota    uint32  // page samples assigned next interval
+	Sampled  bool    // whether the region was PTE-scanned this interval
+	NodeID   int32   // memory node holding the region, -1 if unmapped
+}
+
+// Table is the shared profiling-results table.
+type Table struct {
+	Interval uint64 // profiling interval sequence number
+	Entries  []Entry
+}
+
+const headerBytes = 4 + 2 + 2 + 8 + 4 // magic, version, flags, interval, count
+const entryBytes = 8 + 8 + 8 + 8 + 8 + 4 + 1 + 4
+
+// EncodedSize returns the byte size of the encoded table.
+func (t *Table) EncodedSize() int { return headerBytes + len(t.Entries)*entryBytes }
+
+// Encode writes the table to w in the shared-memory layout.
+func (t *Table) Encode(w io.Writer) error {
+	buf := make([]byte, t.EncodedSize())
+	if err := t.marshal(buf); err != nil {
+		return err
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func (t *Table) marshal(buf []byte) error {
+	if len(buf) < t.EncodedSize() {
+		return fmt.Errorf("shm: buffer %d < table %d", len(buf), t.EncodedSize())
+	}
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:], Magic)
+	le.PutUint16(buf[4:], Version)
+	le.PutUint16(buf[6:], 0)
+	le.PutUint64(buf[8:], t.Interval)
+	le.PutUint32(buf[16:], uint32(len(t.Entries)))
+	off := headerBytes
+	for _, e := range t.Entries {
+		le.PutUint64(buf[off:], e.RegionID)
+		le.PutUint64(buf[off+8:], e.BaseAddr)
+		le.PutUint64(buf[off+16:], e.Bytes)
+		le.PutUint64(buf[off+24:], math.Float64bits(e.HI))
+		le.PutUint64(buf[off+32:], math.Float64bits(e.WHI))
+		le.PutUint32(buf[off+40:], e.Quota)
+		if e.Sampled {
+			buf[off+44] = 1
+		} else {
+			buf[off+44] = 0
+		}
+		le.PutUint32(buf[off+45:], uint32(e.NodeID))
+		off += entryBytes
+	}
+	return nil
+}
+
+// ErrLayout reports a malformed or incompatible table image.
+var ErrLayout = errors.New("shm: bad table layout")
+
+// Decode reads a table from r.
+func Decode(r io.Reader) (*Table, error) {
+	head := make([]byte, headerBytes)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, err
+	}
+	le := binary.LittleEndian
+	if le.Uint32(head[0:]) != Magic {
+		return nil, fmt.Errorf("%w: magic %#x", ErrLayout, le.Uint32(head[0:]))
+	}
+	if v := le.Uint16(head[4:]); v != Version {
+		return nil, fmt.Errorf("%w: version %d", ErrLayout, v)
+	}
+	t := &Table{Interval: le.Uint64(head[8:])}
+	n := int(le.Uint32(head[16:]))
+	const maxEntries = 1 << 26 // 64M regions is far beyond any real table
+	if n < 0 || n > maxEntries {
+		return nil, fmt.Errorf("%w: entry count %d", ErrLayout, n)
+	}
+	body := make([]byte, n*entryBytes)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	t.Entries = make([]Entry, n)
+	for i := range t.Entries {
+		off := i * entryBytes
+		e := &t.Entries[i]
+		e.RegionID = le.Uint64(body[off:])
+		e.BaseAddr = le.Uint64(body[off+8:])
+		e.Bytes = le.Uint64(body[off+16:])
+		e.HI = math.Float64frombits(le.Uint64(body[off+24:]))
+		e.WHI = math.Float64frombits(le.Uint64(body[off+32:]))
+		e.Quota = le.Uint32(body[off+40:])
+		e.Sampled = body[off+44] != 0
+		e.NodeID = int32(le.Uint32(body[off+45:]))
+	}
+	return t, nil
+}
+
+// FromRegions builds a table snapshot from a profiler's region set; nodeOf
+// resolves each region's memory node (pass nil to leave nodes at -1).
+func FromRegions(interval uint64, regions []*region.Region, nodeOf func(*region.Region) int32) *Table {
+	t := &Table{Interval: interval, Entries: make([]Entry, 0, len(regions))}
+	for _, r := range regions {
+		node := int32(-1)
+		if nodeOf != nil {
+			node = nodeOf(r)
+		}
+		t.Entries = append(t.Entries, Entry{
+			RegionID: r.ID,
+			BaseAddr: r.V.Addr(r.Start),
+			Bytes:    uint64(r.Bytes()),
+			HI:       r.HI,
+			WHI:      r.WHI,
+			Quota:    uint32(r.Quota),
+			Sampled:  r.Sampled,
+			NodeID:   node,
+		})
+	}
+	return t
+}
+
+// Segment is the shared-memory segment the kernel module publishes into
+// and the daemon snapshots from. The real implementation uses a seqlock
+// (an even/odd sequence counter around the byte copy); in Go, racing
+// plain loads with stores is undefined behaviour, so the copy itself is
+// guarded by a mutex while the sequence counter keeps the protocol's
+// observable behaviour: a snapshot is always a complete, single-version
+// image, never a torn one.
+type Segment struct {
+	mu  sync.RWMutex
+	seq atomic.Uint64
+	buf []byte
+	len int
+}
+
+// NewSegment creates a segment with room for capacity entries.
+func NewSegment(capacity int) *Segment {
+	return &Segment{buf: make([]byte, headerBytes+capacity*entryBytes)}
+}
+
+// Publish writes a table into the segment (the kernel-module side).
+func (s *Segment) Publish(t *Table) error {
+	need := t.EncodedSize()
+	if need > len(s.buf) {
+		return fmt.Errorf("shm: table %d exceeds segment %d", need, len(s.buf))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq.Add(1) // odd: write in progress
+	err := t.marshal(s.buf)
+	s.len = need
+	s.seq.Add(1) // even: stable
+	return err
+}
+
+// Snapshot reads a consistent table copy (the daemon side).
+func (s *Segment) Snapshot() (*Table, error) {
+	s.mu.RLock()
+	if s.len == 0 {
+		s.mu.RUnlock()
+		return nil, errors.New("shm: segment empty")
+	}
+	cp := make([]byte, s.len)
+	copy(cp, s.buf[:s.len])
+	s.mu.RUnlock()
+	return Decode(bytes.NewReader(cp))
+}
+
+// Seq returns the publish sequence number (even when stable); the daemon
+// uses it to notice missed intervals.
+func (s *Segment) Seq() uint64 { return s.seq.Load() }

@@ -1,0 +1,209 @@
+package shm
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"mtm/internal/region"
+	"mtm/internal/tier"
+	"mtm/internal/vm"
+)
+
+func sampleTable() *Table {
+	return &Table{
+		Interval: 42,
+		Entries: []Entry{
+			{RegionID: 1, BaseAddr: 1 << 30, Bytes: 2 << 20, HI: 2.5, WHI: 1.75, Quota: 3, Sampled: true, NodeID: 2},
+			{RegionID: 7, BaseAddr: 3 << 30, Bytes: 64 << 20, HI: 0, WHI: 0.125, Quota: 1, Sampled: false, NodeID: -1},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	want := sampleTable()
+	var buf bytes.Buffer
+	if err := want.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != want.EncodedSize() {
+		t.Fatalf("encoded %d bytes, want %d", buf.Len(), want.EncodedSize())
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Interval != want.Interval || len(got.Entries) != len(want.Entries) {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i := range want.Entries {
+		if got.Entries[i] != want.Entries[i] {
+			t.Fatalf("entry %d: %+v != %+v", i, got.Entries[i], want.Entries[i])
+		}
+	}
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	var buf bytes.Buffer
+	sampleTable().Encode(&buf)
+	b := buf.Bytes()
+	b[0] ^= 0xff
+	if _, err := Decode(bytes.NewReader(b)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestDecodeRejectsBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	sampleTable().Encode(&buf)
+	b := buf.Bytes()
+	b[4] = 99
+	if _, err := Decode(bytes.NewReader(b)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	sampleTable().Encode(&buf)
+	b := buf.Bytes()
+	for _, cut := range []int{3, headerBytes - 1, headerBytes + 5, len(b) - 1} {
+		if _, err := Decode(bytes.NewReader(b[:cut])); err == nil {
+			t.Fatalf("truncated at %d accepted", cut)
+		}
+	}
+}
+
+func TestDecodeRejectsHugeCount(t *testing.T) {
+	var buf bytes.Buffer
+	sampleTable().Encode(&buf)
+	b := buf.Bytes()
+	b[16], b[17], b[18], b[19] = 0xff, 0xff, 0xff, 0xff
+	if _, err := Decode(bytes.NewReader(b)); err == nil {
+		t.Fatal("absurd entry count accepted")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(interval uint64, ids []uint64, his []float64) bool {
+		tb := &Table{Interval: interval}
+		for i, id := range ids {
+			hi := 0.0
+			if i < len(his) && !math.IsNaN(his[i]) {
+				hi = his[i]
+			}
+			tb.Entries = append(tb.Entries, Entry{RegionID: id, HI: hi, Sampled: i%2 == 0, NodeID: int32(i % 5)})
+		}
+		var buf bytes.Buffer
+		if err := tb.Encode(&buf); err != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil || got.Interval != interval || len(got.Entries) != len(tb.Entries) {
+			return false
+		}
+		for i := range tb.Entries {
+			if got.Entries[i] != tb.Entries[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromRegions(t *testing.T) {
+	as := vm.NewAddressSpace()
+	v := as.Alloc("v", 8*vm.HugePageSize)
+	set := region.NewSet(3)
+	set.InitVMA(v, 2*vm.HugePageSize)
+	for i, r := range set.Regions() {
+		r.HI = float64(i)
+		r.WHI = float64(i) / 2
+		r.Sampled = true
+	}
+	tb := FromRegions(9, set.Regions(), func(*region.Region) int32 { return 2 })
+	if tb.Interval != 9 || len(tb.Entries) != set.Len() {
+		t.Fatalf("table %+v", tb)
+	}
+	for i, e := range tb.Entries {
+		r := set.Regions()[i]
+		if e.BaseAddr != r.V.Addr(r.Start) || e.Bytes != uint64(r.Bytes()) || e.HI != r.HI || e.NodeID != 2 {
+			t.Fatalf("entry %d mismatch: %+v vs %v", i, e, r)
+		}
+	}
+	// nil nodeOf leaves nodes unresolved.
+	tb2 := FromRegions(1, set.Regions(), nil)
+	if tb2.Entries[0].NodeID != -1 {
+		t.Fatal("nil nodeOf should leave NodeID -1")
+	}
+	_ = tier.Invalid
+}
+
+func TestSegmentPublishSnapshot(t *testing.T) {
+	seg := NewSegment(16)
+	if _, err := seg.Snapshot(); err == nil {
+		t.Fatal("empty segment snapshot succeeded")
+	}
+	if err := seg.Publish(sampleTable()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := seg.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Interval != 42 || len(got.Entries) != 2 {
+		t.Fatalf("snapshot %+v", got)
+	}
+}
+
+func TestSegmentRejectsOversize(t *testing.T) {
+	seg := NewSegment(1)
+	if err := seg.Publish(sampleTable()); err == nil {
+		t.Fatal("oversize publish accepted")
+	}
+}
+
+func TestSegmentConcurrentPublishSnapshot(t *testing.T) {
+	// The seqlock protocol: concurrent publishers and snapshotters never
+	// yield a torn (undecodable or cross-version) table.
+	seg := NewSegment(64)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := uint64(0)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tb := sampleTable()
+			tb.Interval = i
+			for j := range tb.Entries {
+				tb.Entries[j].RegionID = i // all entries carry the version
+			}
+			seg.Publish(tb)
+			i++
+		}
+	}()
+	for n := 0; n < 2000; n++ {
+		tb, err := seg.Snapshot()
+		if err != nil {
+			continue // starved this round; acceptable
+		}
+		for _, e := range tb.Entries {
+			if e.RegionID != tb.Interval {
+				t.Fatalf("torn snapshot: interval %d, entry version %d", tb.Interval, e.RegionID)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,360 @@
+// Package sim is the virtual-time simulation engine that everything else
+// plugs into. It owns the clock, the tier system, and the address space,
+// charges every application access its tier latency (with bandwidth
+// contention), services page faults through the active solution's
+// placement policy, and drives the profiling-interval loop:
+//
+//	interval start -> application runs -> profiling -> migration -> repeat
+//
+// Time is virtual: results are deterministic nanosecond accounting, not
+// wall-clock measurements, which makes experiments reproducible on any
+// host while preserving the relative performance the paper reports.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mtm/internal/pebs"
+	"mtm/internal/tier"
+	"mtm/internal/vm"
+)
+
+// CachelineBytes is the bytes moved per application access for bandwidth
+// accounting.
+const CachelineBytes = 64
+
+// Solution is a complete page-management system under test: an initial
+// placement policy plus per-interval profiling and migration. The engine
+// calls IntervalStart before the application runs in an interval and
+// IntervalEnd after; implementations charge their costs through the
+// engine's Charge* methods.
+type Solution interface {
+	Name() string
+	// Place chooses the node for a faulting (first-touched) page.
+	Place(e *Engine, v *vm.VMA, idx int, socket int) tier.NodeID
+	// IntervalStart runs before application execution in an interval
+	// (e.g. to arm PEBS counters).
+	IntervalStart(e *Engine)
+	// IntervalEnd runs profiling and migration for the interval.
+	IntervalEnd(e *Engine)
+}
+
+// Workload is a simulated application. RunInterval must issue accesses via
+// Engine.Access until Engine.IntervalExhausted reports true or the
+// workload completes.
+type Workload interface {
+	Name() string
+	// Init allocates the workload's VMAs and builds its data structures.
+	Init(e *Engine)
+	// RunInterval executes one profiling interval's worth of work.
+	RunInterval(e *Engine)
+	// Done reports whether all work has completed.
+	Done() bool
+	// ReadFraction is the workload's approximate read share (metadata).
+	ReadFraction() float64
+}
+
+// IntervalStats is the per-interval record used by the breakdown figures.
+type IntervalStats struct {
+	App           time.Duration
+	Profiling     time.Duration
+	Migration     time.Duration // critical-path migration time
+	Background    time.Duration
+	PromotedBytes int64
+	DemotedBytes  int64
+	NodeAccesses  []int64 // app accesses served per node this interval
+}
+
+// Engine is the simulation core. Not safe for concurrent use.
+type Engine struct {
+	Sys *tier.System
+	AS  *vm.AddressSpace
+	Rng *rand.Rand
+
+	Threads    int
+	HomeSocket int // socket the application's threads run on
+	Interval   time.Duration
+	// PerAccessCPU is the fixed non-memory cost of one application
+	// operation; it keeps perfectly-placed workloads from becoming
+	// infinitely fast and models core-side work.
+	PerAccessCPU time.Duration
+	// FaultCost is the fixed kernel cost of one demand-zero page fault,
+	// excluding the page-zeroing copy (charged from tier bandwidth).
+	FaultCost time.Duration
+
+	PEBS *pebs.Buffer // optional; solutions arm/disarm it
+
+	// Intercept, when non-nil, replaces the default per-node latency
+	// charge of Access with a solution-computed cost. The hardware-
+	// managed-cache baseline (Optane Memory Mode) uses it to model
+	// DRAM-as-cache hits, misses, and write amplification.
+	Intercept func(v *vm.VMA, idx int, n, nw uint32, node tier.NodeID) time.Duration
+
+	// Observer, when non-nil, sees every application access after it is
+	// charged (trace recording). It must not issue accesses itself.
+	Observer func(v *vm.VMA, idx int, n, nw uint32, socket int)
+
+	sol Solution
+
+	clock time.Duration
+
+	// Interval accumulators.
+	intApp      time.Duration
+	intProf     time.Duration
+	intMig      time.Duration
+	intBg       time.Duration
+	intPromoted int64
+	intDemoted  int64
+	intAccesses []int64
+	contention  []float64 // per-node factor from previous interval
+
+	// Cumulative stats.
+	TotalApp      time.Duration
+	TotalProf     time.Duration
+	TotalMig      time.Duration
+	TotalBg       time.Duration
+	NodeAccesses  []int64 // app accesses per node, cumulative
+	TotalAccesses int64
+	TotalFaults   int64
+	PromotedBytes int64
+	DemotedBytes  int64
+	Intervals     int
+	Log           []IntervalStats
+	KeepLog       bool
+
+	latCache [][]time.Duration
+}
+
+// NewEngine builds an engine over the topology with the paper's default
+// settings: 8 threads on socket 0, 10 s profiling interval.
+func NewEngine(topo *tier.Topology, seed int64) *Engine {
+	sys := tier.NewSystem(topo)
+	n := len(topo.Nodes)
+	e := &Engine{
+		Sys:          sys,
+		AS:           vm.NewAddressSpace(),
+		Rng:          rand.New(rand.NewSource(seed)),
+		Threads:      8,
+		HomeSocket:   0,
+		Interval:     10 * time.Second,
+		PerAccessCPU: 15 * time.Nanosecond,
+		FaultCost:    1500 * time.Nanosecond,
+		intAccesses:  make([]int64, n),
+		contention:   make([]float64, n),
+		NodeAccesses: make([]int64, n),
+	}
+	for i := range e.contention {
+		e.contention[i] = 1
+	}
+	e.latCache = make([][]time.Duration, topo.Sockets)
+	for s := range e.latCache {
+		e.latCache[s] = make([]time.Duration, n)
+		for i := range e.latCache[s] {
+			e.latCache[s][i] = topo.Links[s][i].Latency
+		}
+	}
+	return e
+}
+
+// Clock returns the current virtual time.
+func (e *Engine) Clock() time.Duration { return e.clock }
+
+// Contention returns the bandwidth-contention factor of node n carried
+// over from the previous interval (>= 1).
+func (e *Engine) Contention(n tier.NodeID) float64 { return e.contention[n] }
+
+// Solution returns the active solution (set by Run).
+func (e *Engine) Solution() Solution { return e.sol }
+
+// SetSolution installs the solution; exposed for tests that drive the
+// interval loop manually.
+func (e *Engine) SetSolution(s Solution) { e.sol = s }
+
+// Access simulates n application accesses (nw of them writes) to page idx
+// of v from the given socket. Non-present pages fault and are placed by
+// the active solution.
+func (e *Engine) Access(v *vm.VMA, idx int, n, nw uint32, socket int) {
+	if n == 0 {
+		return
+	}
+	node, fault := v.TouchN(idx, n, nw, socket)
+	if fault {
+		node = e.handleFault(v, idx, socket)
+		v.TouchN(idx, n, nw, socket)
+	}
+	if e.Intercept != nil {
+		e.intApp += e.Intercept(v, idx, n, nw, node) + time.Duration(n)*e.PerAccessCPU
+	} else {
+		lat := time.Duration(float64(e.latCache[socket][node]) * e.contention[node])
+		e.intApp += time.Duration(n) * (lat + e.PerAccessCPU)
+	}
+	e.intAccesses[node] += int64(n)
+	e.NodeAccesses[node] += int64(n)
+	e.TotalAccesses += int64(n)
+	e.Sys.RecordTransfer(node, int64(n)*CachelineBytes)
+	if e.PEBS != nil {
+		e.PEBS.Record(v, idx, node, n)
+	}
+	if e.Observer != nil {
+		e.Observer(v, idx, n, nw, socket)
+	}
+}
+
+// handleFault places a first-touched page via the solution, falling back
+// to any node with space when the preferred node is full.
+func (e *Engine) handleFault(v *vm.VMA, idx int, socket int) tier.NodeID {
+	node := e.sol.Place(e, v, idx, socket)
+	if node == tier.Invalid || !e.Sys.Reserve(node, v.PageSize) {
+		node = e.Sys.FirstFit(e.Sys.Topo.View(socket), v.PageSize)
+		if node == tier.Invalid {
+			panic(fmt.Sprintf("sim: out of memory placing %v page %d", v, idx))
+		}
+		e.Sys.Reserve(node, v.PageSize)
+	}
+	v.Place(idx, node)
+	e.TotalFaults++
+	// Demand-zero: kernel fixed cost plus zeroing the page at the
+	// node's best bandwidth.
+	zero := e.Sys.CopyTime(socket, node, node, v.PageSize)
+	e.intApp += e.FaultCost + zero
+	e.Sys.RecordTransfer(node, v.PageSize)
+	return node
+}
+
+// MovePage rebinds page idx of v from its current node to dst, updating
+// capacity accounting. It does not charge time; migration mechanisms do.
+// It reports whether the move happened (false when dst is full).
+func (e *Engine) MovePage(v *vm.VMA, idx int, dst tier.NodeID) bool {
+	src := v.Node(idx)
+	if src == dst {
+		return true
+	}
+	if !e.Sys.Reserve(dst, v.PageSize) {
+		return false
+	}
+	if src != vm.NoNode {
+		e.Sys.Release(src, v.PageSize)
+	}
+	v.Place(idx, dst)
+	return true
+}
+
+// ChargeProfiling adds d to the interval's profiling (critical-path) cost.
+func (e *Engine) ChargeProfiling(d time.Duration) { e.intProf += d }
+
+// ChargeMigration adds d to the interval's critical-path migration cost.
+func (e *Engine) ChargeMigration(d time.Duration) { e.intMig += d }
+
+// ChargeBackground adds d of off-critical-path work (async page copy);
+// it occupies helper threads and bandwidth but does not extend execution.
+func (e *Engine) ChargeBackground(d time.Duration) { e.intBg += d }
+
+// NotePromotion/NoteDemotion record migrated volume for the statistics
+// tables.
+func (e *Engine) NotePromotion(bytes int64) { e.intPromoted += bytes }
+func (e *Engine) NoteDemotion(bytes int64)  { e.intDemoted += bytes }
+
+// AppTimeThisInterval returns the application time consumed so far in the
+// current interval, normalised for thread parallelism.
+func (e *Engine) AppTimeThisInterval() time.Duration {
+	return e.intApp / time.Duration(e.Threads)
+}
+
+// IntervalExhausted reports whether the application has consumed its
+// interval budget.
+func (e *Engine) IntervalExhausted() bool {
+	return e.AppTimeThisInterval() >= e.Interval
+}
+
+func (e *Engine) beginInterval() {
+	e.intApp, e.intProf, e.intMig, e.intBg = 0, 0, 0, 0
+	e.intPromoted, e.intDemoted = 0, 0
+	for i := range e.intAccesses {
+		e.intAccesses[i] = 0
+	}
+	e.Sys.ResetWindow(e.Interval)
+}
+
+func (e *Engine) endInterval() {
+	app := e.AppTimeThisInterval()
+	e.clock += app + e.intProf + e.intMig
+	e.TotalApp += app
+	e.TotalProf += e.intProf
+	e.TotalMig += e.intMig
+	e.TotalBg += e.intBg
+	e.PromotedBytes += e.intPromoted
+	e.DemotedBytes += e.intDemoted
+	if e.KeepLog {
+		na := make([]int64, len(e.intAccesses))
+		copy(na, e.intAccesses)
+		e.Log = append(e.Log, IntervalStats{
+			App: app, Profiling: e.intProf, Migration: e.intMig,
+			Background:    e.intBg,
+			PromotedBytes: e.intPromoted, DemotedBytes: e.intDemoted,
+			NodeAccesses: na,
+		})
+	}
+	// Contention factors for the next interval come from this one's
+	// observed demand (a one-interval lag keeps the model causal).
+	for i := range e.contention {
+		e.contention[i] = e.Sys.ContentionFactor(tier.NodeID(i))
+	}
+	e.AS.ResetCounts()
+	e.Intervals++
+}
+
+// RunInterval executes exactly one profiling interval: solution start
+// hook, application execution, solution end hook, bookkeeping.
+func (e *Engine) RunInterval(w Workload) {
+	e.beginInterval()
+	e.sol.IntervalStart(e)
+	w.RunInterval(e)
+	e.sol.IntervalEnd(e)
+	e.endInterval()
+}
+
+// Result summarises a complete run.
+type Result struct {
+	Solution      string
+	Workload      string
+	ExecTime      time.Duration
+	App           time.Duration
+	Profiling     time.Duration
+	Migration     time.Duration
+	Background    time.Duration
+	Intervals     int
+	Completed     bool
+	NodeAccesses  []int64
+	TotalAccesses int64
+	PromotedBytes int64
+	DemotedBytes  int64
+}
+
+// Run drives workload w under solution sol until the workload completes
+// or maxIntervals elapse, and returns the summary.
+func Run(e *Engine, w Workload, sol Solution, maxIntervals int) *Result {
+	e.sol = sol
+	w.Init(e)
+	for i := 0; i < maxIntervals && !w.Done(); i++ {
+		e.RunInterval(w)
+	}
+	na := make([]int64, len(e.NodeAccesses))
+	copy(na, e.NodeAccesses)
+	return &Result{
+		Solution:      sol.Name(),
+		Workload:      w.Name(),
+		ExecTime:      e.clock,
+		App:           e.TotalApp,
+		Profiling:     e.TotalProf,
+		Migration:     e.TotalMig,
+		Background:    e.TotalBg,
+		Intervals:     e.Intervals,
+		Completed:     w.Done(),
+		NodeAccesses:  na,
+		TotalAccesses: e.TotalAccesses,
+		PromotedBytes: e.PromotedBytes,
+		DemotedBytes:  e.DemotedBytes,
+	}
+}

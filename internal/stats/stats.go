@@ -1,0 +1,198 @@
+// Package stats computes the evaluation metrics of the paper: profiling
+// recall and accuracy against an oracle (Figure 1), per-tier access
+// distributions (Tables 3 and 6), and execution-time breakdowns
+// (Figure 5). It is the only code allowed to read ground-truth access
+// counters — profilers never see them.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"mtm/internal/profiler"
+	"mtm/internal/region"
+	"mtm/internal/sim"
+	"mtm/internal/vm"
+)
+
+// HotOracle reports ground truth: whether a page is currently hot. GUPS
+// exposes one from its hot-set bookkeeping; CountOracle derives one from
+// the interval's access counters for workloads without a closed form.
+type HotOracle func(v *vm.VMA, idx int) bool
+
+// CountOracle builds a HotOracle marking the top hotFrac of present bytes
+// by this interval's ground-truth access count. It must be called before
+// the engine resets counters (i.e. inside a Solution hook or test).
+func CountOracle(as *vm.AddressSpace, hotFrac float64) HotOracle {
+	type pg struct {
+		v     *vm.VMA
+		idx   int
+		count uint32
+	}
+	var pages []pg
+	var total int64
+	for _, v := range as.VMAs() {
+		for i := 0; i < v.NPages; i++ {
+			if !v.Present(i) {
+				continue
+			}
+			total += v.PageSize
+			if c := v.Count(i); c > 0 {
+				pages = append(pages, pg{v, i, c})
+			}
+		}
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i].count > pages[j].count })
+	want := int64(float64(total) * hotFrac)
+	hot := make(map[*vm.VMA]map[int]bool)
+	var got int64
+	for _, p := range pages {
+		if got >= want {
+			break
+		}
+		m := hot[p.v]
+		if m == nil {
+			m = make(map[int]bool)
+			hot[p.v] = m
+		}
+		m[p.idx] = true
+		got += p.v.PageSize
+	}
+	return func(v *vm.VMA, idx int) bool { return hot[v][idx] }
+}
+
+// Quality is a profiling recall/accuracy measurement (Figure 1):
+// recall   = hot bytes correctly detected / hot bytes in the oracle set
+// accuracy = hot bytes correctly detected / bytes detected as hot
+type Quality struct {
+	Recall   float64
+	Accuracy float64
+}
+
+// DetectionQuality labels the hottest regions (by WHI) covering wantBytes
+// as the profiler's detected hot set and scores it against the oracle.
+// oracleBytes is the oracle hot-set size (the denominator of recall).
+func DetectionQuality(regions []*region.Region, oracle HotOracle, wantBytes, oracleBytes int64) Quality {
+	detected := profiler.HotBytes(regions, wantBytes)
+	var detectedBytes, correct int64
+	for _, r := range detected {
+		for i := r.Start; i < r.End; i++ {
+			if !r.V.Present(i) {
+				continue
+			}
+			detectedBytes += r.V.PageSize
+			if oracle(r.V, i) {
+				correct += r.V.PageSize
+			}
+		}
+	}
+	var q Quality
+	if oracleBytes > 0 {
+		q.Recall = float64(correct) / float64(oracleBytes)
+	}
+	if detectedBytes > 0 {
+		q.Accuracy = float64(correct) / float64(detectedBytes)
+	}
+	return q
+}
+
+// OracleBytes sums the bytes the oracle marks hot over present pages.
+func OracleBytes(as *vm.AddressSpace, oracle HotOracle) int64 {
+	var b int64
+	for _, v := range as.VMAs() {
+		for i := 0; i < v.NPages; i++ {
+			if v.Present(i) && oracle(v, i) {
+				b += v.PageSize
+			}
+		}
+	}
+	return b
+}
+
+// Breakdown is the Figure 5 decomposition of a run.
+type Breakdown struct {
+	App, Profiling, Migration time.Duration
+}
+
+// BreakdownOf extracts the decomposition from a result.
+func BreakdownOf(r *sim.Result) Breakdown {
+	return Breakdown{App: r.App, Profiling: r.Profiling, Migration: r.Migration}
+}
+
+// FormatDuration renders a virtual duration at a unit that keeps three
+// significant figures readable.
+func FormatDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	}
+	return d.String()
+}
+
+// Table is a minimal fixed-width text table writer for experiment output.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// Row appends a row; values are formatted with %v.
+func (t *Table) Row(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		case time.Duration:
+			row[i] = FormatDuration(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	width := make([]int, len(t.header))
+	for i, h := range t.header {
+		width[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for i, w := range width {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}

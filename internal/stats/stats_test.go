@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mtm/internal/region"
+	"mtm/internal/sim"
+	"mtm/internal/vm"
+)
+
+func TestCountOracle(t *testing.T) {
+	as := vm.NewAddressSpace()
+	v := as.Alloc("v", 20*vm.HugePageSize)
+	for i := 0; i < v.NPages; i++ {
+		v.Place(i, 0)
+		n := uint32(1)
+		if i < 5 {
+			n = 1000
+		}
+		v.TouchN(i, n, 0, 0)
+	}
+	oracle := CountOracle(as, 0.25) // top 5 of 20 pages
+	for i := 0; i < v.NPages; i++ {
+		want := i < 5
+		if oracle(v, i) != want {
+			t.Fatalf("oracle(%d) = %v, want %v", i, oracle(v, i), want)
+		}
+	}
+	if got := OracleBytes(as, oracle); got != 5*v.PageSize {
+		t.Fatalf("oracle bytes = %d", got)
+	}
+}
+
+func TestDetectionQualityPerfect(t *testing.T) {
+	as := vm.NewAddressSpace()
+	v := as.Alloc("v", 10*vm.HugePageSize)
+	for i := 0; i < v.NPages; i++ {
+		v.Place(i, 0)
+	}
+	set := region.NewSet(3)
+	set.InitVMA(v, 2*vm.HugePageSize) // 5 regions of 2 pages
+	regions := set.Regions()
+	// Region 0 (pages 0-1) is hot; oracle agrees.
+	regions[0].WHI = 3
+	oracle := func(vv *vm.VMA, idx int) bool { return vv == v && idx < 2 }
+	q := DetectionQuality(regions, oracle, 2*v.PageSize, 2*v.PageSize)
+	if q.Recall != 1 || q.Accuracy != 1 {
+		t.Fatalf("quality = %+v, want perfect", q)
+	}
+}
+
+func TestDetectionQualityHalf(t *testing.T) {
+	as := vm.NewAddressSpace()
+	v := as.Alloc("v", 10*vm.HugePageSize)
+	for i := 0; i < v.NPages; i++ {
+		v.Place(i, 0)
+	}
+	set := region.NewSet(3)
+	set.InitVMA(v, 2*vm.HugePageSize)
+	regions := set.Regions()
+	// Detected region covers pages 0-1 but only page 0 is truly hot;
+	// the other hot page (9) is missed.
+	regions[0].WHI = 3
+	oracle := func(vv *vm.VMA, idx int) bool { return idx == 0 || idx == 9 }
+	q := DetectionQuality(regions, oracle, 2*v.PageSize, 2*v.PageSize)
+	if q.Recall != 0.5 || q.Accuracy != 0.5 {
+		t.Fatalf("quality = %+v, want 0.5/0.5", q)
+	}
+}
+
+func TestBreakdownOf(t *testing.T) {
+	r := &sim.Result{App: time.Second, Profiling: time.Millisecond, Migration: 2 * time.Millisecond}
+	b := BreakdownOf(r)
+	if b.App != time.Second || b.Profiling != time.Millisecond || b.Migration != 2*time.Millisecond {
+		t.Fatalf("breakdown = %+v", b)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.Row("alpha", 1.5)
+	tb.Row("beta", time.Second)
+	out := tb.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.500") || !strings.Contains(out, "1.00s") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header, rule, two rows
+		t.Fatalf("lines = %d", len(lines))
+	}
+}

@@ -1,0 +1,152 @@
+package tier
+
+import (
+	"fmt"
+	"time"
+)
+
+// System is the runtime state layered over a Topology: how much of each
+// component is in use, and how many bytes have moved through each component
+// during the current accounting window (used for bandwidth-contention
+// modelling).
+//
+// System is not safe for concurrent use; the simulation engine serialises
+// access to it.
+type System struct {
+	Topo *Topology
+
+	used    []int64 // bytes allocated per node
+	demand  []int64 // bytes transferred per node in the current window
+	window  time.Duration
+	resLog  []Reservation
+	logging bool
+}
+
+// Reservation records one allocate/release event, for tests and debugging.
+type Reservation struct {
+	Node    NodeID
+	Bytes   int64
+	Release bool
+}
+
+// NewSystem creates a System over topo. It panics if topo is invalid, since
+// a bad topology is a programming error, not a runtime condition.
+func NewSystem(topo *Topology) *System {
+	if err := topo.Validate(); err != nil {
+		panic(err)
+	}
+	return &System{
+		Topo:   topo,
+		used:   make([]int64, len(topo.Nodes)),
+		demand: make([]int64, len(topo.Nodes)),
+	}
+}
+
+// EnableLog turns on reservation logging (tests only; unbounded growth).
+func (s *System) EnableLog() { s.logging = true }
+
+// Log returns the reservation log.
+func (s *System) Log() []Reservation { return s.resLog }
+
+// Capacity returns the capacity of a node in bytes.
+func (s *System) Capacity(n NodeID) int64 { return s.Topo.Nodes[n].Capacity }
+
+// Used returns the bytes currently allocated on a node.
+func (s *System) Used(n NodeID) int64 { return s.used[n] }
+
+// Free returns the unallocated bytes on a node.
+func (s *System) Free(n NodeID) int64 { return s.Topo.Nodes[n].Capacity - s.used[n] }
+
+// Reserve allocates b bytes on node n. It reports whether the allocation
+// fit; on false the system is unchanged.
+func (s *System) Reserve(n NodeID, b int64) bool {
+	if b < 0 {
+		panic(fmt.Sprintf("tier: Reserve(%d, %d): negative size", n, b))
+	}
+	if s.used[n]+b > s.Topo.Nodes[n].Capacity {
+		return false
+	}
+	s.used[n] += b
+	if s.logging {
+		s.resLog = append(s.resLog, Reservation{Node: n, Bytes: b})
+	}
+	return true
+}
+
+// Release frees b bytes on node n. Releasing more than is allocated panics:
+// it means the caller's page accounting has desynchronised.
+func (s *System) Release(n NodeID, b int64) {
+	if b < 0 || s.used[n]-b < 0 {
+		panic(fmt.Sprintf("tier: Release(%d, %d) with used=%d", n, b, s.used[n]))
+	}
+	s.used[n] -= b
+	if s.logging {
+		s.resLog = append(s.resLog, Reservation{Node: n, Bytes: b, Release: true})
+	}
+}
+
+// FirstFit returns the first node in the given view order with at least b
+// free bytes, or Invalid.
+func (s *System) FirstFit(view []NodeID, b int64) NodeID {
+	for _, n := range view {
+		if s.Free(n) >= b {
+			return n
+		}
+	}
+	return Invalid
+}
+
+// ResetWindow begins a new bandwidth-accounting window of the given length.
+func (s *System) ResetWindow(d time.Duration) {
+	s.window = d
+	for i := range s.demand {
+		s.demand[i] = 0
+	}
+}
+
+// RecordTransfer notes that b bytes moved through node n during the window.
+func (s *System) RecordTransfer(n NodeID, b int64) {
+	s.demand[n] += b
+}
+
+// Demand returns the bytes recorded against node n this window.
+func (s *System) Demand(n NodeID) int64 { return s.demand[n] }
+
+// ContentionFactor estimates how much accesses to node n are slowed by
+// bandwidth saturation in the current window: 1.0 when demand is within the
+// node's bandwidth, rising linearly with oversubscription. The node's
+// bandwidth is taken as the best link to it (local access); remote links
+// are narrower and their extra cost is already in their latency/bandwidth.
+func (s *System) ContentionFactor(n NodeID) float64 {
+	if s.window <= 0 {
+		return 1
+	}
+	var best int64
+	for sck := 0; sck < s.Topo.Sockets; sck++ {
+		if bw := s.Topo.Links[sck][n].Bandwidth; bw > best {
+			best = bw
+		}
+	}
+	sustainable := float64(best) * s.window.Seconds()
+	if sustainable <= 0 {
+		return 1
+	}
+	f := float64(s.demand[n]) / sustainable
+	if f < 1 {
+		return 1
+	}
+	return f
+}
+
+// CopyTime returns the virtual time to move b bytes from node src to node
+// dst, issued from the given socket: the transfer is limited by the
+// narrower of the two links.
+func (s *System) CopyTime(socket int, src, dst NodeID, b int64) time.Duration {
+	ls, ld := s.Topo.Links[socket][src], s.Topo.Links[socket][dst]
+	bw := ls.Bandwidth
+	if ld.Bandwidth < bw {
+		bw = ld.Bandwidth
+	}
+	sec := float64(b) / float64(bw)
+	return time.Duration(sec * float64(time.Second))
+}

@@ -1,0 +1,332 @@
+// Package trace records and replays page-level access traces. Recording
+// captures the exact (page, reads, writes, socket) stream a workload
+// issued; replaying drives that stream back through the engine as a
+// workload of its own.
+//
+// Traces are how the reproduction substitutes for the production traces
+// the paper's authors had: a captured run of any synthetic workload
+// becomes a fixed, shareable input that every solution can be evaluated
+// against byte-for-byte, and traces recorded elsewhere (e.g. converted
+// from real PEBS dumps) can be replayed through the same interface.
+//
+// The on-disk format is a little-endian stream: a header, one VMA table
+// describing the address-space shape, then fixed-size access records with
+// interval markers.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"mtm/internal/sim"
+	"mtm/internal/vm"
+)
+
+// Magic and Version identify the trace format.
+const (
+	Magic   = 0x4d544d54 // "MTMT"
+	Version = 1
+)
+
+// record kinds
+const (
+	recAccess      = 1
+	recIntervalEnd = 2
+)
+
+// Access is one recorded batched access.
+type Access struct {
+	VMA    uint32 // index into the VMA table
+	Page   uint32
+	Reads  uint32 // total accesses (reads+writes)
+	Writes uint32
+	Socket uint8
+}
+
+// VMADesc describes one VMA of the recorded address space.
+type VMADesc struct {
+	Name     string
+	Bytes    int64
+	HugePage bool
+}
+
+// Writer records a trace to an underlying stream.
+type Writer struct {
+	w      *bufio.Writer
+	vmas   []VMADesc
+	vmaIdx map[*vm.VMA]uint32
+	wrote  bool
+	n      int64
+}
+
+// NewWriter creates a trace writer. Header and VMA table are emitted on
+// the first record, so VMAs must be registered before any Record call.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w), vmaIdx: make(map[*vm.VMA]uint32)}
+}
+
+// RegisterVMA assigns a table slot to a VMA; call once per VMA, before
+// recording.
+func (t *Writer) RegisterVMA(v *vm.VMA) {
+	if _, ok := t.vmaIdx[v]; ok {
+		return
+	}
+	t.vmaIdx[v] = uint32(len(t.vmas))
+	t.vmas = append(t.vmas, VMADesc{Name: v.Name, Bytes: v.Bytes(), HugePage: v.PageSize == vm.HugePageSize})
+}
+
+func (t *Writer) header() error {
+	var b [8]byte
+	le := binary.LittleEndian
+	le.PutUint32(b[0:], Magic)
+	le.PutUint16(b[4:], Version)
+	le.PutUint16(b[6:], uint16(len(t.vmas)))
+	if _, err := t.w.Write(b[:]); err != nil {
+		return err
+	}
+	for _, d := range t.vmas {
+		name := []byte(d.Name)
+		if len(name) > 255 {
+			name = name[:255]
+		}
+		var hdr [10]byte
+		le.PutUint64(hdr[0:], uint64(d.Bytes))
+		if d.HugePage {
+			hdr[8] = 1
+		}
+		hdr[9] = byte(len(name))
+		if _, err := t.w.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := t.w.Write(name); err != nil {
+			return err
+		}
+	}
+	t.wrote = true
+	return nil
+}
+
+// Record appends one access.
+func (t *Writer) Record(v *vm.VMA, page int, n, nw uint32, socket int) error {
+	if !t.wrote {
+		if err := t.header(); err != nil {
+			return err
+		}
+	}
+	idx, ok := t.vmaIdx[v]
+	if !ok {
+		return fmt.Errorf("trace: VMA %q not registered", v.Name)
+	}
+	var b [18]byte
+	le := binary.LittleEndian
+	b[0] = recAccess
+	le.PutUint32(b[1:], idx)
+	le.PutUint32(b[5:], uint32(page))
+	le.PutUint32(b[9:], n)
+	le.PutUint32(b[13:], nw)
+	b[17] = uint8(socket)
+	_, err := t.w.Write(b[:])
+	t.n++
+	return err
+}
+
+// IntervalEnd marks a profiling-interval boundary.
+func (t *Writer) IntervalEnd() error {
+	if !t.wrote {
+		if err := t.header(); err != nil {
+			return err
+		}
+	}
+	_, err := t.w.Write([]byte{recIntervalEnd})
+	return err
+}
+
+// Records returns the number of accesses recorded.
+func (t *Writer) Records() int64 { return t.n }
+
+// Flush drains buffered output.
+func (t *Writer) Flush() error { return t.w.Flush() }
+
+// Trace is a fully parsed trace.
+type Trace struct {
+	VMAs []VMADesc
+	// Intervals holds the access batches per profiling interval.
+	Intervals [][]Access
+}
+
+// ErrFormat reports a malformed trace stream.
+var ErrFormat = errors.New("trace: bad format")
+
+// Read parses a trace stream.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var head [8]byte
+	if _, err := io.ReadFull(br, head[:]); err != nil {
+		return nil, err
+	}
+	le := binary.LittleEndian
+	if le.Uint32(head[0:]) != Magic {
+		return nil, fmt.Errorf("%w: magic", ErrFormat)
+	}
+	if le.Uint16(head[4:]) != Version {
+		return nil, fmt.Errorf("%w: version", ErrFormat)
+	}
+	nv := int(le.Uint16(head[6:]))
+	t := &Trace{VMAs: make([]VMADesc, nv)}
+	for i := range t.VMAs {
+		var hdr [10]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return nil, err
+		}
+		d := &t.VMAs[i]
+		d.Bytes = int64(le.Uint64(hdr[0:]))
+		d.HugePage = hdr[8] != 0
+		name := make([]byte, hdr[9])
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, err
+		}
+		d.Name = string(name)
+	}
+	cur := []Access{}
+	for {
+		kind, err := br.ReadByte()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch kind {
+		case recAccess:
+			var b [17]byte
+			if _, err := io.ReadFull(br, b[:]); err != nil {
+				return nil, err
+			}
+			a := Access{
+				VMA:    le.Uint32(b[0:]),
+				Page:   le.Uint32(b[4:]),
+				Reads:  le.Uint32(b[8:]),
+				Writes: le.Uint32(b[12:]),
+				Socket: b[16],
+			}
+			if int(a.VMA) >= nv {
+				return nil, fmt.Errorf("%w: VMA index %d", ErrFormat, a.VMA)
+			}
+			cur = append(cur, a)
+		case recIntervalEnd:
+			t.Intervals = append(t.Intervals, cur)
+			cur = nil
+		default:
+			return nil, fmt.Errorf("%w: record kind %d", ErrFormat, kind)
+		}
+	}
+	if len(cur) > 0 {
+		t.Intervals = append(t.Intervals, cur)
+	}
+	return t, nil
+}
+
+// Replay is a sim.Workload that re-issues a recorded trace.
+type Replay struct {
+	tr   *Trace
+	vmas []*vm.VMA
+	next int
+}
+
+// NewReplay wraps a parsed trace as a workload.
+func NewReplay(tr *Trace) *Replay { return &Replay{tr: tr} }
+
+func (r *Replay) Name() string { return "trace-replay" }
+
+func (r *Replay) Init(e *sim.Engine) {
+	r.vmas = make([]*vm.VMA, len(r.tr.VMAs))
+	for i, d := range r.tr.VMAs {
+		// Replay preserves the recorded page-size choice regardless of
+		// the current THP default.
+		saved := e.AS.THP
+		e.AS.THP = d.HugePage
+		r.vmas[i] = e.AS.Alloc(d.Name, d.Bytes)
+		e.AS.THP = saved
+	}
+}
+
+func (r *Replay) RunInterval(e *sim.Engine) {
+	if r.Done() {
+		return
+	}
+	for _, a := range r.tr.Intervals[r.next] {
+		e.Access(r.vmas[a.VMA], int(a.Page), a.Reads, a.Writes, int(a.Socket))
+	}
+	r.next++
+}
+
+func (r *Replay) Done() bool { return r.next >= len(r.tr.Intervals) }
+
+func (r *Replay) ReadFraction() float64 {
+	var n, w uint64
+	for _, iv := range r.tr.Intervals {
+		for _, a := range iv {
+			n += uint64(a.Reads)
+			w += uint64(a.Writes)
+		}
+	}
+	if n == 0 {
+		return 1
+	}
+	return 1 - float64(w)/float64(n)
+}
+
+// Recorder wraps a workload, forwarding every access to the engine while
+// copying it into a trace writer. Recording starts before the wrapped
+// workload's Init so initialisation traffic is captured too; VMAs are
+// registered as they are first touched (the trace header is emitted at
+// the first access, so all VMAs touched later must already exist by then
+// — true for workloads that allocate before touching).
+type Recorder struct {
+	W   sim.Workload
+	Out *Writer
+
+	err error
+}
+
+// NewRecorder wraps w, writing the trace to out.
+func NewRecorder(w sim.Workload, out *Writer) *Recorder {
+	return &Recorder{W: w, Out: out}
+}
+
+func (r *Recorder) Name() string          { return r.W.Name() + "+record" }
+func (r *Recorder) Done() bool            { return r.W.Done() }
+func (r *Recorder) ReadFraction() float64 { return r.W.ReadFraction() }
+
+// Err reports the first recording failure, if any.
+func (r *Recorder) Err() error { return r.err }
+
+func (r *Recorder) Init(e *sim.Engine) {
+	// Interpose on the engine's access path via the observer hook
+	// before Init so initialisation accesses are part of the trace.
+	e.Observer = func(v *vm.VMA, page int, n, nw uint32, socket int) {
+		if !r.Out.wrote {
+			r.Out.RegisterVMA(v)
+		}
+		if err := r.Out.Record(v, page, n, nw, socket); err != nil && r.err == nil {
+			r.err = err
+		}
+	}
+	r.W.Init(e)
+	// Register any VMAs allocated during Init but not yet touched.
+	if !r.Out.wrote {
+		for _, v := range e.AS.VMAs() {
+			r.Out.RegisterVMA(v)
+		}
+	}
+}
+
+func (r *Recorder) RunInterval(e *sim.Engine) {
+	r.W.RunInterval(e)
+	if err := r.Out.IntervalEnd(); err != nil && r.err == nil {
+		r.err = err
+	}
+}

@@ -1,0 +1,43 @@
+// Package vm implements the virtual-memory substrate of the simulator: an
+// address space of VMAs backed by a software page table whose PTEs carry
+// the bits the MTM profiler and migration mechanism manipulate (present,
+// accessed, dirty, write-protect, and the reserved profiling bit).
+//
+// The simulated MMU (VMA.Touch / VMA.TouchN) sets the accessed and dirty
+// bits exactly as hardware would; profilers observe memory behaviour only
+// by scanning and clearing those bits, which preserves the information loss
+// the paper's profiling mechanisms are designed around: a single PTE scan
+// reveals "accessed since last scan", never an access count.
+package vm
+
+// PTE is one software page-table entry. Only the flag bits are modelled;
+// the physical frame is tracked separately as a tier.NodeID per page.
+type PTE uint8
+
+// PTE flag bits. Bit names follow x86-64 usage; Reserved11 is the reserved
+// 11th bit MTM uses for low-overhead access tracking (§5).
+const (
+	// Present means the page has been allocated a physical frame.
+	Present PTE = 1 << iota
+	// Accessed is set by the MMU on every access and cleared by PTE scans.
+	Accessed
+	// Dirty is set by the MMU on every write.
+	Dirty
+	// WriteProtect causes writes to fault; the MTM migration mechanism
+	// uses it to detect writes during an asynchronous copy (§7.2).
+	WriteProtect
+	// Reserved11 models the reserved PTE bit profilers may use as a
+	// second, independent access flag.
+	Reserved11
+	// Huge marks the entry as mapping a 2 MB huge page.
+	Huge
+)
+
+// Has reports whether all bits in mask are set.
+func (p PTE) Has(mask PTE) bool { return p&mask == mask }
+
+// Set returns p with the mask bits set.
+func (p PTE) Set(mask PTE) PTE { return p | mask }
+
+// Clear returns p with the mask bits cleared.
+func (p PTE) Clear(mask PTE) PTE { return p &^ mask }

@@ -1,0 +1,189 @@
+package vm
+
+import (
+	"fmt"
+
+	"mtm/internal/tier"
+)
+
+// Page sizes supported by the simulator.
+const (
+	BasePageSize = 4 * tier.KB // 4 KB base page
+	HugePageSize = 2 * tier.MB // 2 MB transparent huge page
+	HugeRatio    = int(HugePageSize / BasePageSize)
+)
+
+// NoNode marks a page that has no physical frame yet (not present).
+const NoNode = tier.Invalid
+
+// VMA is one virtual memory area: a contiguous range of same-sized pages.
+// With THP enabled (the paper's default) a VMA uses 2 MB huge pages; page
+// indices then count 2 MB units. All per-page state is stored in parallel
+// slices indexed by page number within the VMA.
+type VMA struct {
+	Name     string
+	Base     uint64 // starting virtual address, HugePageSize-aligned
+	PageSize int64  // BasePageSize or HugePageSize
+	NPages   int
+
+	ptes []PTE
+	node []tier.NodeID // physical placement; NoNode if not present
+
+	// Ground truth access counts for the current profiling interval.
+	// These are *not* visible to profilers (they only scan PTEs); the
+	// simulator uses them to model what repeated scans would observe and
+	// to compute recall/accuracy metrics against an oracle.
+	counts []uint32
+	writes []uint32
+	// lastSocket is the socket that issued the most recent access to the
+	// page, backing the hint-fault "who touched it" channel (§6.2).
+	lastSocket []int8
+}
+
+func newVMA(name string, base uint64, pageSize int64, nPages int) *VMA {
+	v := &VMA{
+		Name:       name,
+		Base:       base,
+		PageSize:   pageSize,
+		NPages:     nPages,
+		ptes:       make([]PTE, nPages),
+		node:       make([]tier.NodeID, nPages),
+		counts:     make([]uint32, nPages),
+		writes:     make([]uint32, nPages),
+		lastSocket: make([]int8, nPages),
+	}
+	for i := range v.node {
+		v.node[i] = NoNode
+	}
+	if pageSize == HugePageSize {
+		for i := range v.ptes {
+			v.ptes[i] = Huge
+		}
+	}
+	return v
+}
+
+// Bytes returns the size of the VMA in bytes.
+func (v *VMA) Bytes() int64 { return int64(v.NPages) * v.PageSize }
+
+// End returns the first address past the VMA.
+func (v *VMA) End() uint64 { return v.Base + uint64(v.Bytes()) }
+
+// Addr returns the virtual address of page idx.
+func (v *VMA) Addr(idx int) uint64 { return v.Base + uint64(int64(idx)*v.PageSize) }
+
+// PageOf returns the page index containing addr, which must lie in the VMA.
+func (v *VMA) PageOf(addr uint64) int { return int((addr - v.Base) / uint64(v.PageSize)) }
+
+// PTE returns the page-table entry of page idx.
+func (v *VMA) PTE(idx int) PTE { return v.ptes[idx] }
+
+// Node returns the memory node holding page idx, or NoNode.
+func (v *VMA) Node(idx int) tier.NodeID { return v.node[idx] }
+
+// Present reports whether page idx has a physical frame.
+func (v *VMA) Present(idx int) bool { return v.ptes[idx].Has(Present) }
+
+// Place installs page idx on node n, marking it present. It is the
+// allocator/migrator's entry point and does not touch access bits.
+func (v *VMA) Place(idx int, n tier.NodeID) {
+	v.node[idx] = n
+	v.ptes[idx] = v.ptes[idx].Set(Present)
+}
+
+// Unmap removes the frame of page idx (migration step 2). Access state is
+// preserved so a remap continues tracking.
+func (v *VMA) Unmap(idx int) {
+	v.node[idx] = NoNode
+	v.ptes[idx] = v.ptes[idx].Clear(Present)
+}
+
+// Touch simulates one MMU access to page idx from the given socket,
+// setting the accessed (and on write, dirty) bit and recording ground
+// truth. It returns the node the access hit and whether the page faulted
+// (not present): a faulting access records nothing and must be retried
+// after the fault handler places the page.
+func (v *VMA) Touch(idx int, write bool, socket int) (tier.NodeID, bool) {
+	if !v.ptes[idx].Has(Present) {
+		return NoNode, true
+	}
+	p := v.ptes[idx].Set(Accessed)
+	if write {
+		p = p.Set(Dirty)
+	}
+	v.ptes[idx] = p
+	v.counts[idx]++
+	if write {
+		v.writes[idx]++
+	}
+	v.lastSocket[idx] = int8(socket)
+	return v.node[idx], false
+}
+
+// TouchN simulates n accesses (nw of them writes) to page idx from the
+// given socket in one call; it is the batched fast path for workload
+// generators. Semantics match n calls to Touch.
+func (v *VMA) TouchN(idx int, n, nw uint32, socket int) (tier.NodeID, bool) {
+	if !v.ptes[idx].Has(Present) {
+		return NoNode, true
+	}
+	p := v.ptes[idx].Set(Accessed)
+	if nw > 0 {
+		p = p.Set(Dirty)
+	}
+	v.ptes[idx] = p
+	v.counts[idx] += n
+	v.writes[idx] += nw
+	v.lastSocket[idx] = int8(socket)
+	return v.node[idx], false
+}
+
+// Count returns the ground-truth access count of page idx this interval.
+// Only the oracle/metrics layer may call this; profilers must not.
+func (v *VMA) Count(idx int) uint32 { return v.counts[idx] }
+
+// WriteCount returns the ground-truth write count of page idx this interval.
+func (v *VMA) WriteCount(idx int) uint32 { return v.writes[idx] }
+
+// LastSocket returns the socket of the most recent access to page idx.
+func (v *VMA) LastSocket(idx int) int { return int(v.lastSocket[idx]) }
+
+// ResetCounts zeroes the ground-truth counters at an interval boundary.
+func (v *VMA) ResetCounts() {
+	clear(v.counts)
+	clear(v.writes)
+}
+
+// ScanAndClear performs one PTE scan of page idx: it returns whether the
+// accessed bit was set and clears it, exactly the primitive DAMON-style
+// profilers are built on. Scanning a non-present page returns false.
+func (v *VMA) ScanAndClear(idx int) bool {
+	p := v.ptes[idx]
+	if !p.Has(Present) {
+		return false
+	}
+	set := p.Has(Accessed)
+	v.ptes[idx] = p.Clear(Accessed)
+	return set
+}
+
+// TestAndClearDirty returns whether the dirty bit was set and clears it.
+func (v *VMA) TestAndClearDirty(idx int) bool {
+	p := v.ptes[idx]
+	set := p.Has(Dirty)
+	v.ptes[idx] = p.Clear(Dirty)
+	return set
+}
+
+// SetWriteProtect arms or disarms write-protection on page idx.
+func (v *VMA) SetWriteProtect(idx int, on bool) {
+	if on {
+		v.ptes[idx] = v.ptes[idx].Set(WriteProtect)
+	} else {
+		v.ptes[idx] = v.ptes[idx].Clear(WriteProtect)
+	}
+}
+
+func (v *VMA) String() string {
+	return fmt.Sprintf("VMA{%s %#x+%dMB page=%dKB}", v.Name, v.Base, v.Bytes()/tier.MB, v.PageSize/tier.KB)
+}

@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"mtm/internal/sim"
+	"mtm/internal/vm"
+)
+
+// Cassandra models the row-store arm of Table 2: Cassandra under YCSB
+// workload A (update-heavy: 50% reads, 50% updates) with a zipfian key
+// distribution. Keys hash into placement blocks so the popular keys'
+// pages are scattered across the footprint in small clusters — the layout
+// a real LSM row cache produces — and the store keeps Cassandra's shape:
+// a commit log with a sequentially advancing hot head, an in-memory
+// index, and the record heap itself.
+type Cassandra struct {
+	base
+
+	// DataBytes is the record heap footprint (400 GB / scale).
+	DataBytes int64
+
+	data, index, commitLog *vm.VMA
+	zipf                   *zipfSampler
+	nBlocks                int64
+	blockBytes             int64
+	logCursor              int64
+}
+
+// NewCassandra sizes the store to the paper's 400 GB instance.
+func NewCassandra(cfg Config) *Cassandra {
+	c := &Cassandra{DataBytes: 400 * GB / cfg.scale()}
+	c.name = "Cassandra"
+	c.readFrac = 0.5
+	c.totalOps = cfg.ops(1e10)
+	return c
+}
+
+func (c *Cassandra) Init(e *sim.Engine) {
+	c.data = e.AS.Alloc("cassandra.data", c.DataBytes)
+	c.index = e.AS.Alloc("cassandra.index", maxI64(c.DataBytes/64, 4*MB))
+	c.commitLog = e.AS.Alloc("cassandra.commitlog", maxI64(c.DataBytes/32, 8*MB))
+	// Placement blocks: runs of zipf rank space that hash to one spot in
+	// the heap. 256 KB blocks keep hot clusters smaller than a region.
+	c.blockBytes = 256 * 1024
+	c.nBlocks = c.data.Bytes() / c.blockBytes
+	c.zipf = newZipf(e.Rng, uint64(c.nBlocks*16))
+	initTouch(e, c.data, c.index, c.commitLog)
+}
+
+func (c *Cassandra) RunInterval(e *sim.Engine) {
+	socket := e.HomeSocket
+	for !e.IntervalExhausted() && !c.Done() {
+		for i := 0; i < opChunk; i++ {
+			c.op(e, socket)
+		}
+		c.doneOps += opChunk
+	}
+}
+
+func (c *Cassandra) op(e *sim.Engine, socket int) {
+	// Zipf rank -> placement block via hash (Cassandra's partitioner),
+	// then a random record offset within the block.
+	rank := c.zipf.Next()
+	block := int64(hash64(rank/16) % uint64(c.nBlocks))
+	off := block*c.blockBytes + int64(e.Rng.Int63n(c.blockBytes))
+
+	// Index probe (read), then the record.
+	e.Access(c.index, int(hash64(rank)%uint64(c.index.NPages)), 1, 0, socket)
+	write := e.Rng.Intn(2) == 0 // YCSB-A: 50/50
+	if write {
+		// Update: read-modify-write the record plus a commit-log append.
+		e.Access(c.data, pageOf(c.data, off), 2, 1, socket)
+		c.logCursor += 256
+		e.Access(c.commitLog, pageOf(c.commitLog, c.logCursor%c.commitLog.Bytes()), 1, 1, socket)
+	} else {
+		e.Access(c.data, pageOf(c.data, off), 2, 0, socket)
+	}
+}

@@ -1,0 +1,27 @@
+package mtm
+
+import "testing"
+
+// TestMatrixGUPS prints normalized execution time of every solution on
+// GUPS (manual sanity check against Figure 4's ordering).
+func TestMatrixGUPS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix run is slow")
+	}
+	cfg := DefaultConfig()
+	cfg.Scale = 256
+	cfg.OpsFactor = 0.5
+	sols := []string{"first-touch", "hmc", "vanilla-tiered-autonuma", "tiered-autonuma", "autotiering", "hemem", "mtm"}
+	var ftTime float64
+	for _, s := range sols {
+		r, err := Run(cfg, "gups", s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s == "first-touch" {
+			ftTime = r.ExecTime.Seconds()
+		}
+		t.Logf("%-26s exec=%7.3fs norm=%.3f app=%7.3fs prof=%6.3fs mig=%6.3fs promoted=%dMB",
+			s, r.ExecTime.Seconds(), r.ExecTime.Seconds()/ftTime, r.App.Seconds(), r.Profiling.Seconds(), r.Migration.Seconds(), r.PromotedBytes>>20)
+	}
+}

@@ -1,0 +1,289 @@
+// Package mtm is a simulation-backed reproduction of "MTM: Rethinking
+// Memory Profiling and Migration for Multi-Tiered Large Memory"
+// (EuroSys '24). It provides:
+//
+//   - a virtual-time multi-tiered memory substrate (tiers, software page
+//     tables, huge pages, PEBS-style sampling, migration mechanisms);
+//   - the MTM page-management system: adaptive profiling with overhead
+//     control, the global fast-promotion/slow-demotion policy, and the
+//     adaptive asynchronous migration mechanism;
+//   - the paper's seven baselines and six workloads;
+//   - experiment drivers regenerating every table and figure of the
+//     evaluation (see the cmd/experiments binary and bench_test.go).
+//
+// Quick start:
+//
+//	cfg := mtm.DefaultConfig()
+//	res, err := mtm.Run(cfg, "gups", "mtm")
+//	// res.ExecTime is the virtual execution time; res.Profiling and
+//	// res.Migration are the overheads on the critical path.
+//
+// All times are virtual (deterministic nanosecond accounting), so results
+// are reproducible on any host. The Scale knob shrinks the paper's
+// 1.7 TB testbed and its workloads uniformly; ratios between footprints,
+// capacities, migration budgets, and profiling budgets are preserved.
+package mtm
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mtm/internal/migrate"
+	"mtm/internal/policy"
+	"mtm/internal/profiler"
+	"mtm/internal/sim"
+	"mtm/internal/tier"
+	"mtm/internal/workload"
+)
+
+// Config selects the machine, the scale, and shared run parameters.
+type Config struct {
+	// Scale divides the paper's capacities, footprints, interval and
+	// migration budget; 0 selects DefaultScale (64).
+	Scale int64
+	// Seed makes runs deterministic; runs with equal seeds and configs
+	// produce identical virtual-time results.
+	Seed int64
+	// Threads is the application thread count (8 in the paper).
+	Threads int
+	// OpsFactor scales workload length (1.0 = paper-equivalent runtime).
+	OpsFactor float64
+	// TwoTier selects the single-socket DRAM+PM machine of §9.6 instead
+	// of the two-socket four-tier Optane box.
+	TwoTier bool
+	// CXL selects a single-socket DRAM + direct-CXL + switched-CXL
+	// machine (three tiers, all expansion CPU-less) — the §8 generality
+	// configuration. Takes precedence over TwoTier.
+	CXL bool
+	// Interval is the profiling interval; 0 selects 10s/Scale.
+	Interval time.Duration
+	// MigrateBudget is the per-profiling-interval migration volume; 0
+	// selects 800MB/Scale — the paper's N=200MB cap per *migration*
+	// interval with four migration rounds inside each 10 s profiling
+	// interval.
+	MigrateBudget int64
+	// OverheadTarget is the profiling overhead constraint; 0 selects 5%.
+	OverheadTarget float64
+	// Alpha is the EMA weight of Equation 2; 0 selects 0.5. (Set to a
+	// negative value to force 0, i.e. history-only decisions.)
+	Alpha float64
+	// KeepLog records per-interval statistics on the engine.
+	KeepLog bool
+}
+
+// DefaultScale mirrors workload.DefaultScale.
+const DefaultScale = workload.DefaultScale
+
+// DefaultConfig returns the standard evaluation configuration.
+func DefaultConfig() Config {
+	return Config{Scale: DefaultScale, Seed: 1, Threads: 8, OpsFactor: 1}
+}
+
+// withDefaults resolves zero values.
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = DefaultScale
+	}
+	if c.Threads <= 0 {
+		c.Threads = 8
+	}
+	if c.OpsFactor <= 0 {
+		c.OpsFactor = 1
+	}
+	if c.Interval <= 0 {
+		c.Interval = 10 * time.Second / time.Duration(c.Scale)
+	}
+	if c.MigrateBudget <= 0 {
+		c.MigrateBudget = 800 * tier.MB / c.Scale
+	}
+	if c.OverheadTarget <= 0 {
+		c.OverheadTarget = 0.05
+	}
+	switch {
+	case c.Alpha == 0:
+		c.Alpha = 0.5
+	case c.Alpha < 0:
+		c.Alpha = 0
+	}
+	return c
+}
+
+// Topology returns the machine the config selects.
+func (c Config) Topology() *tier.Topology {
+	c = c.withDefaults()
+	switch {
+	case c.CXL:
+		return tier.CXLTopology(c.Scale)
+	case c.TwoTier:
+		return tier.TwoTierTopology(96*tier.GB/c.Scale, 756*tier.GB/c.Scale)
+	}
+	return tier.OptaneTopology(c.Scale)
+}
+
+// NewEngine builds a configured simulation engine.
+func NewEngine(c Config) *sim.Engine {
+	c = c.withDefaults()
+	e := sim.NewEngine(c.Topology(), c.Seed)
+	e.Threads = c.Threads
+	e.Interval = c.Interval
+	e.KeepLog = c.KeepLog
+	return e
+}
+
+// workloadConfig adapts Config for the workload package.
+func (c Config) workloadConfig() workload.Config {
+	c = c.withDefaults()
+	return workload.Config{Scale: c.Scale, OpsFactor: c.OpsFactor}
+}
+
+// NewWorkload builds one of the Table 2 workloads by name:
+// gups, voltdb, cassandra, bfs, sssp, spark.
+func NewWorkload(name string, c Config) (sim.Workload, error) {
+	wc := c.workloadConfig()
+	switch name {
+	case "gups":
+		return workload.NewGUPS(wc), nil
+	case "voltdb":
+		return workload.NewVoltDB(wc), nil
+	case "cassandra":
+		return workload.NewCassandra(wc), nil
+	case "bfs":
+		return workload.NewBFS(wc), nil
+	case "sssp":
+		return workload.NewSSSP(wc), nil
+	case "spark":
+		return workload.NewSpark(wc), nil
+	}
+	return nil, fmt.Errorf("mtm: unknown workload %q (have %v)", name, WorkloadNames())
+}
+
+// WorkloadNames lists the available workloads.
+func WorkloadNames() []string {
+	return []string{"gups", "voltdb", "cassandra", "bfs", "sssp", "spark"}
+}
+
+// mtmProfiler builds the adaptive profiler with config-applied knobs and
+// optional feature ablations.
+func (c Config) mtmProfiler(mod func(*profiler.MTMConfig)) *profiler.MTM {
+	c = c.withDefaults()
+	pc := profiler.DefaultMTMConfig()
+	pc.OverheadTarget = c.OverheadTarget
+	pc.Alpha = c.Alpha
+	if mod != nil {
+		mod(&pc)
+	}
+	return profiler.NewMTM(pc)
+}
+
+func (c Config) mtmSolution(label string, pmod func(*profiler.MTMConfig), mech migrate.Mechanism) *policy.MTM {
+	c = c.withDefaults()
+	s := policy.NewMTMVariant(label, c.mtmProfiler(pmod), mech)
+	s.MigrateBudget = c.MigrateBudget
+	s.DemoteCap = 2 * c.MigrateBudget
+	return s
+}
+
+// NewSolution builds a page-management solution by name. Paper solutions:
+//
+//	mtm, first-touch, slow-first, hmc, vanilla-tiered-autonuma,
+//	tiered-autonuma, autotiering, hemem
+//
+// Ablation variants of §9.3:
+//
+//	mtm-wo-amr, mtm-wo-pebs, mtm-wo-aps, mtm-wo-oc, mtm-wo-async,
+//	mtm-thermostat-prof, mtm-autonuma-prof
+func NewSolution(name string, c Config) (sim.Solution, error) {
+	c = c.withDefaults()
+	switch name {
+	case "mtm":
+		return c.mtmSolution("MTM", nil, migrate.NewAdaptive()), nil
+	case "mtm-wo-amr":
+		return c.mtmSolution("MTM w/o AMR", func(p *profiler.MTMConfig) { p.AdaptiveRegions = false }, migrate.NewAdaptive()), nil
+	case "mtm-wo-pebs":
+		return c.mtmSolution("MTM w/o PEBS", func(p *profiler.MTMConfig) { p.UsePEBS = false }, migrate.NewAdaptive()), nil
+	case "mtm-wo-aps":
+		return c.mtmSolution("MTM w/o APS", func(p *profiler.MTMConfig) { p.AdaptiveSampling = false }, migrate.NewAdaptive()), nil
+	case "mtm-wo-oc":
+		return c.mtmSolution("MTM w/o OC", func(p *profiler.MTMConfig) {
+			p.OverheadControl = false
+			p.TauM = 0
+			p.TauS = 0
+		}, migrate.NewAdaptive()), nil
+	case "mtm-wo-async":
+		return c.mtmSolution("MTM w/o async migration", nil, &migrate.Adaptive{ForceSync: true, WriteRate: -1}), nil
+	case "mtm-thermostat-prof":
+		s := policy.NewMTMVariant("Thermostat profiling + MTM migration", profiler.NewThermostat(), migrate.NewAdaptive())
+		s.MigrateBudget = c.MigrateBudget
+		s.DemoteCap = 2 * c.MigrateBudget
+		return s, nil
+	case "mtm-autonuma-prof":
+		s := policy.NewMTMVariant("tiered-AutoNUMA profiling + MTM migration", profiler.NewSequentialScan(true), migrate.NewAdaptive())
+		s.MigrateBudget = c.MigrateBudget
+		s.DemoteCap = 2 * c.MigrateBudget
+		return s, nil
+	case "first-touch":
+		return policy.NewFirstTouch(), nil
+	case "slow-first":
+		return policy.NewSlowFirst(), nil
+	case "hmc":
+		return policy.NewHMC(), nil
+	case "vanilla-tiered-autonuma":
+		s := policy.NewTieredAutoNUMA(false)
+		s.MigrateBudget = c.MigrateBudget
+		return s, nil
+	case "tiered-autonuma":
+		s := policy.NewTieredAutoNUMA(true)
+		s.MigrateBudget = c.MigrateBudget
+		return s, nil
+	case "autotiering":
+		s := policy.NewAutoTiering()
+		s.MigrateBudget = c.MigrateBudget
+		return s, nil
+	case "hemem":
+		s := policy.NewHeMem()
+		s.MigrateBudget = c.MigrateBudget
+		return s, nil
+	}
+	return nil, fmt.Errorf("mtm: unknown solution %q (have %v)", name, SolutionNames())
+}
+
+// SolutionNames lists all constructible solutions.
+func SolutionNames() []string {
+	names := []string{
+		"mtm", "first-touch", "slow-first", "hmc",
+		"vanilla-tiered-autonuma", "tiered-autonuma", "autotiering", "hemem",
+		"mtm-wo-amr", "mtm-wo-pebs", "mtm-wo-aps", "mtm-wo-oc", "mtm-wo-async",
+		"mtm-thermostat-prof", "mtm-autonuma-prof",
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Result is the outcome of a run (alias of the engine's result type).
+type Result = sim.Result
+
+// MaxIntervals bounds any single run; at the default scale one interval
+// is ~156 ms of virtual time, so this is a generous safety limit.
+const MaxIntervals = 4096
+
+// Run executes a workload under a solution and returns the summary.
+func Run(c Config, workloadName, solutionName string) (*Result, error) {
+	c = c.withDefaults()
+	w, err := NewWorkload(workloadName, c)
+	if err != nil {
+		return nil, err
+	}
+	s, err := NewSolution(solutionName, c)
+	if err != nil {
+		return nil, err
+	}
+	e := NewEngine(c)
+	return sim.Run(e, w, s, MaxIntervals), nil
+}
+
+// RunWith executes a caller-built workload and solution on a fresh engine.
+func RunWith(c Config, w sim.Workload, s sim.Solution) *Result {
+	e := NewEngine(c.withDefaults())
+	return sim.Run(e, w, s, MaxIntervals)
+}

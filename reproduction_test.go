@@ -1,0 +1,123 @@
+package mtm
+
+import (
+	"testing"
+
+	"mtm/internal/workload"
+)
+
+// This file pins the paper's headline claims as tests so regressions in
+// the reproduction are caught by `go test`, not only by eyeballing
+// cmd/experiments output. Each test runs a scaled-down version of the
+// corresponding experiment; the asserted margins are looser than the
+// measured ones to absorb single-seed noise.
+
+// TestClaimFastPromotionBeatsTierByTier pins Figure 4/Table 6's core
+// contrast on VoltDB: MTM's global fast-promotion policy must beat
+// tiered-AutoNUMA's tier-by-tier stepping by a clear margin.
+func TestClaimFastPromotionBeatsTierByTier(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 256
+	cfg.OpsFactor = 0.25
+	mtmRes, err := Run(cfg, "voltdb", "mtm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	anRes, err := Run(cfg, "voltdb", "tiered-autonuma")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mtmRes.ExecTime.Seconds() > 0.9*anRes.ExecTime.Seconds() {
+		t.Fatalf("MTM %v not clearly ahead of tiered-AutoNUMA %v", mtmRes.ExecTime, anRes.ExecTime)
+	}
+	// Table 6: MTM must serve more traffic from the home socket's
+	// fastest tier.
+	view := cfg.Topology().View(0)
+	if mtmRes.NodeAccesses[view[0]] <= anRes.NodeAccesses[view[0]] {
+		t.Fatalf("tier-1 accesses: MTM %d <= t-AN %d", mtmRes.NodeAccesses[view[0]], anRes.NodeAccesses[view[0]])
+	}
+}
+
+// TestClaimAblationsAMROC pins Figure 7's two big levers: removing
+// adaptive memory regions, or removing overhead control (τm=τs=0), must
+// cost double-digit percentages on VoltDB.
+func TestClaimAblationsAMROC(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 256
+	cfg.OpsFactor = 0.2
+	base, err := Run(cfg, "voltdb", "mtm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ablation := range []string{"mtm-wo-amr", "mtm-wo-oc"} {
+		res, err := Run(cfg, "voltdb", ablation)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ExecTime.Seconds() < 1.10*base.ExecTime.Seconds() {
+			t.Errorf("%s = %v, want >= +10%% over MTM's %v", ablation, res.ExecTime, base.ExecTime)
+		}
+	}
+}
+
+// TestClaimTwoTierCrossover pins Figure 12's shape: when the working set
+// crosses the fast-memory size, HeMem's throughput collapses harder than
+// MTM's, and MTM never falls below HeMem.
+func TestClaimTwoTierCrossover(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 256
+	cfg.TwoTier = true
+	cfg.Threads = 24
+	dram := int64(96) << 30 / cfg.Scale
+	run := func(sol string, ratio float64) float64 {
+		table := int64(float64(dram) * ratio)
+		ops := table / 64
+		s, err := NewSolution(sol, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := RunWith(cfg, workload.NewGUPSSized(table, ops), s)
+		return float64(ops) / res.ExecTime.Seconds()
+	}
+	for _, ratio := range []float64{0.75, 1.25} {
+		hemem := run("hemem", ratio)
+		mtm := run("mtm", ratio)
+		if mtm < hemem {
+			t.Errorf("ratio %.2f: MTM %.1f < HeMem %.1f updates/s", ratio, mtm/1e6, hemem/1e6)
+		}
+	}
+	hememDrop := run("hemem", 0.75) / run("hemem", 1.25)
+	mtmDrop := run("mtm", 0.75) / run("mtm", 1.25)
+	if hememDrop < mtmDrop {
+		t.Errorf("crossover: HeMem drop %.2fx < MTM drop %.2fx; paper has HeMem collapsing harder", hememDrop, mtmDrop)
+	}
+}
+
+// TestClaimProfilingQualityOrdering pins Figure 1's ordering on a single
+// deterministic scenario: MTM's detection quality >= DAMON's >= random
+// chunk sampling's (AutoTiering), measured over the run's second half.
+func TestClaimProfilingQualityOrdering(t *testing.T) {
+	// This claim is covered deterministically at unit level
+	// (profiler.TestMTMBeatsDAMONOnHotDetection and
+	// TestMTMBeatsDAMONAcrossSeeds); here we only re-check that the
+	// experiment driver agrees for the extreme pair (MTM vs AutoTiering),
+	// which has the largest margin and is noise-proof.
+	cfg := DefaultConfig()
+	cfg.Scale = 256
+	cfg.OpsFactor = 0.2
+
+	quality := func(sol string) float64 {
+		// Use fast-tier share under the full system as the proxy: better
+		// profiling -> hotter fast tier. AutoTiering's random 256 MB
+		// windows are the paper's low bar.
+		res, err := Run(cfg, "gups", sol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		view := cfg.Topology().View(0)
+		return float64(res.NodeAccesses[view[0]]) / float64(res.TotalAccesses)
+	}
+	if m, a := quality("mtm"), quality("autotiering"); m <= a {
+		t.Fatalf("fast-tier share: MTM %.3f <= AutoTiering %.3f", m, a)
+	}
+}

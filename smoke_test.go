@@ -1,0 +1,38 @@
+package mtm
+
+import (
+	"testing"
+)
+
+// TestSmokeGUPS runs a short GUPS under MTM and first-touch and checks
+// the basic sanity properties: runs complete, MTM's profiling overhead
+// respects the constraint, and MTM beats the no-migration baseline.
+func TestSmokeGUPS(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 256 // small and fast for CI
+
+	ft, err := Run(cfg, "gups", "first-touch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, err := Run(cfg, "gups", "mtm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("first-touch: exec=%v app=%v prof=%v mig=%v intervals=%d done=%v",
+		ft.ExecTime, ft.App, ft.Profiling, ft.Migration, ft.Intervals, ft.Completed)
+	t.Logf("mtm:         exec=%v app=%v prof=%v mig=%v intervals=%d done=%v promoted=%dMB",
+		mt.ExecTime, mt.App, mt.Profiling, mt.Migration, mt.Intervals, mt.Completed, mt.PromotedBytes>>20)
+	t.Logf("mtm node accesses: %v", mt.NodeAccesses)
+	t.Logf("ft  node accesses: %v", ft.NodeAccesses)
+
+	if !ft.Completed || !mt.Completed {
+		t.Fatalf("runs did not complete: ft=%v mtm=%v", ft.Completed, mt.Completed)
+	}
+	if mt.Profiling > mt.ExecTime/10 {
+		t.Errorf("profiling overhead %v exceeds 10%% of %v", mt.Profiling, mt.ExecTime)
+	}
+	if mt.ExecTime >= ft.ExecTime {
+		t.Errorf("MTM (%v) did not beat first-touch (%v)", mt.ExecTime, ft.ExecTime)
+	}
+}
