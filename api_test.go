@@ -1,9 +1,11 @@
 package mtm
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
+	"mtm/internal/fault"
 	"mtm/internal/policy"
 	"mtm/internal/profiler"
 	"mtm/internal/sim"
@@ -213,5 +215,86 @@ func TestMemoryOverheadTiny(t *testing.T) {
 	mem := e.AS.TotalBytes()
 	if ratio := float64(over) / float64(mem); ratio > 0.001 {
 		t.Fatalf("metadata ratio %.5f, want < 0.1%%", ratio)
+	}
+}
+
+func TestFaultScenarioEBusyStormCompletes(t *testing.T) {
+	// The acceptance bar for the failure model: a 10% per-page EBUSY storm
+	// on gups under mtm must finish the workload — slower, never stuck.
+	cfg := quickCfg()
+	cfg.OpsFactor = 0.2
+	cfg.Faults = "ebusy-storm"
+	res, err := Run(cfg, "gups", "mtm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("run under ebusy-storm did not complete")
+	}
+	if res.MigrationRetries == 0 {
+		t.Fatal("ebusy-storm injected no retries")
+	}
+}
+
+func TestFaultsDisabledBitIdentical(t *testing.T) {
+	// Determinism contract: "" and "none" are the same scenario, and an
+	// attached injector with a zero config must not perturb the engine's
+	// random stream or accounting in any way.
+	cfg := quickCfg()
+	cfg.OpsFactor = 0.2
+	base, err := Run(cfg, "gups", "mtm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := cfg
+	cfg2.Faults = "none"
+	named, err := Run(cfg2, "gups", "mtm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, named) {
+		t.Fatal(`results differ between Faults "" and "none"`)
+	}
+	w, err := NewWorkload("gups", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSolution("mtm", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(cfg)
+	e.SetFaultPlane(fault.NewInjector(fault.Config{}, 99))
+	attached, err := sim.Run(e, w, s, MaxIntervals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, attached) {
+		t.Fatal("zero-config injector perturbed the run")
+	}
+}
+
+func TestValidateRejectsDegenerateConfigs(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Faults = "bogus"
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("unknown fault scenario passed Validate")
+	}
+	if _, err := Run(cfg, "gups", "mtm"); err == nil {
+		t.Fatal("Run accepted unknown fault scenario")
+	}
+	ext := quickCfg()
+	ext.Scale = 1 << 40 // Interval = 10s/Scale truncates to 0ns
+	if err := ext.Validate(); err == nil {
+		t.Fatal("extreme Scale passed Validate")
+	}
+	if _, err := Run(ext, "gups", "mtm"); err == nil {
+		t.Fatal("Run accepted a zero-interval config")
+	}
+	// Explicit overrides rescue an extreme scale.
+	ext.Interval = time.Millisecond
+	ext.MigrateBudget = tier.MB
+	if err := ext.Validate(); err != nil {
+		t.Fatalf("explicit Interval/MigrateBudget still rejected: %v", err)
 	}
 }

@@ -6,6 +6,7 @@
 //
 //	mtmsim -workload gups -solution mtm
 //	mtmsim -workload voltdb -solution tiered-autonuma -scale 64 -ops 1
+//	mtmsim -workload gups -solution mtm -faults ebusy-storm
 //	mtmsim -list
 package main
 
@@ -19,20 +20,22 @@ import (
 
 func main() {
 	var (
-		wl    = flag.String("workload", "gups", "workload name")
-		sol   = flag.String("solution", "mtm", "solution name")
-		scale = flag.Int64("scale", 256, "machine scale divisor")
-		ops   = flag.Float64("ops", 0.5, "workload length factor")
-		seed  = flag.Int64("seed", 1, "simulation seed")
-		two   = flag.Bool("two-tier", false, "use the single-socket DRAM+PM machine")
-		cxl   = flag.Bool("cxl", false, "use the DRAM + direct-CXL + switched-CXL machine")
-		list  = flag.Bool("list", false, "list workloads and solutions")
+		wl     = flag.String("workload", "gups", "workload name")
+		sol    = flag.String("solution", "mtm", "solution name")
+		scale  = flag.Int64("scale", 256, "machine scale divisor")
+		ops    = flag.Float64("ops", 0.5, "workload length factor")
+		seed   = flag.Int64("seed", 1, "simulation seed")
+		two    = flag.Bool("two-tier", false, "use the single-socket DRAM+PM machine")
+		cxl    = flag.Bool("cxl", false, "use the DRAM + direct-CXL + switched-CXL machine")
+		faults = flag.String("faults", "none", "fault-injection scenario")
+		list   = flag.Bool("list", false, "list workloads, solutions and fault scenarios")
 	)
 	flag.Parse()
 
 	if *list {
 		fmt.Println("workloads:", mtm.WorkloadNames())
 		fmt.Println("solutions:", mtm.SolutionNames())
+		fmt.Println("faults:   ", mtm.FaultScenarios())
 		return
 	}
 
@@ -42,11 +45,19 @@ func main() {
 	cfg.Seed = *seed
 	cfg.TwoTier = *two
 	cfg.CXL = *cxl
+	cfg.Faults = *faults
 
 	res, err := mtm.Run(cfg, *wl, *sol)
-	if err != nil {
+	if err != nil && res == nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if err != nil {
+		// Partial result: the run failed mid-flight (e.g. out of memory).
+		fmt.Fprintf(os.Stderr, "warning: run failed after %d intervals: %v\n", res.Intervals, err)
+	}
+	if res.Truncated {
+		fmt.Fprintf(os.Stderr, "warning: run truncated after %d intervals without completing; results cover a partial run\n", res.Intervals)
 	}
 
 	fmt.Printf("workload:   %s\n", res.Workload)
@@ -58,6 +69,10 @@ func main() {
 	fmt.Printf("  migration: %v (%.1f%%)\n", res.Migration, pct(res.Migration, res.ExecTime))
 	fmt.Printf("background copy: %v\n", res.Background)
 	fmt.Printf("promoted:   %d MB, demoted: %d MB\n", res.PromotedBytes>>20, res.DemotedBytes>>20)
+	if res.MigrationRetries+res.MigrationAborts+res.DeferredPromotions+res.EmergencyDemotions > 0 {
+		fmt.Printf("robustness: retries=%d aborts=%d wasted=%dKB deferred-promotions=%d emergency-demotions=%d\n",
+			res.MigrationRetries, res.MigrationAborts, res.WastedBytes>>10, res.DeferredPromotions, res.EmergencyDemotions)
+	}
 	topo := cfg.Topology()
 	fmt.Println("accesses per node:")
 	for i, n := range res.NodeAccesses {

@@ -69,9 +69,15 @@ func doRecord(cfg mtm.Config, workload, solution, path string) error {
 	}
 	defer f.Close()
 	rec := trace.NewRecorder(w, trace.NewWriter(f))
-	res := mtm.RunWith(cfg, rec, s)
+	res, err := mtm.RunWith(cfg, rec, s)
+	if err != nil {
+		return err
+	}
 	if err := rec.Err(); err != nil {
 		return err
+	}
+	if res.Truncated {
+		fmt.Fprintf(os.Stderr, "warning: recording truncated after %d intervals without completing\n", res.Intervals)
 	}
 	if err := rec.Out.Flush(); err != nil {
 		return err
@@ -96,7 +102,13 @@ func doReplay(cfg mtm.Config, path, solution string) error {
 		return err
 	}
 	var res *sim.Result
-	res = mtm.RunWith(cfg, trace.NewReplay(tr), s)
+	res, err = mtm.RunWith(cfg, trace.NewReplay(tr), s)
+	if err != nil {
+		return err
+	}
+	if res.Truncated {
+		fmt.Fprintf(os.Stderr, "warning: replay truncated after %d intervals without completing\n", res.Intervals)
+	}
 	fmt.Printf("replayed %d intervals under %s: exec=%v app=%v prof=%v mig=%v promoted=%dMB\n",
 		len(tr.Intervals), res.Solution, res.ExecTime, res.App, res.Profiling, res.Migration, res.PromotedBytes>>20)
 	return nil

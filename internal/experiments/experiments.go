@@ -11,6 +11,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"mtm"
 	"mtm/internal/migrate"
@@ -47,6 +48,32 @@ func (o Options) config() mtm.Config {
 		c.Seed = o.Seed
 	}
 	return c
+}
+
+// note flags partial runs: a hard mid-run failure (e.g. out of memory)
+// or a truncated run (maxIntervals elapsed before completion) appends a
+// warning so the section never reports partial numbers as complete. It
+// passes the run through otherwise.
+func note(warns *[]string, res *mtm.Result, err error) (*mtm.Result, error) {
+	switch {
+	case err != nil && res == nil:
+		return nil, err
+	case err != nil:
+		*warns = append(*warns, fmt.Sprintf("warning: %s under %s failed after %d intervals: %v",
+			res.Workload, res.Solution, res.Intervals, err))
+	case res.Truncated:
+		*warns = append(*warns, fmt.Sprintf("warning: %s under %s truncated after %d intervals; row covers a partial run",
+			res.Workload, res.Solution, res.Intervals))
+	}
+	return res, nil
+}
+
+// withWarnings appends collected partial-run warnings to a section body.
+func withWarnings(body string, warns []string) string {
+	if len(warns) == 0 {
+		return body
+	}
+	return body + strings.Join(warns, "\n") + "\n"
 }
 
 // All maps experiment ids (fig1..fig12, tab3..tab7) to drivers.
@@ -169,11 +196,12 @@ var fig4Solutions = []string{"first-touch", "hmc", "vanilla-tiered-autonuma", "t
 func Fig4Overall(o Options) string {
 	cfg := o.config()
 	tb := stats.NewTable("workload", "solution", "exec", "normalized")
+	var warns []string
 	for _, wl := range mtm.WorkloadNames() {
 		var ft float64
 		for _, sol := range fig4Solutions {
 			res, err := mtm.Run(cfg, wl, sol)
-			if err != nil {
+			if res, err = note(&warns, res, err); err != nil {
 				return err.Error()
 			}
 			if sol == "first-touch" {
@@ -182,7 +210,7 @@ func Fig4Overall(o Options) string {
 			tb.Row(wl, res.Solution, res.ExecTime, res.ExecTime.Seconds()/ft)
 		}
 	}
-	return "Figure 4: overall performance normalized to first-touch NUMA\n" + tb.String()
+	return withWarnings("Figure 4: overall performance normalized to first-touch NUMA\n"+tb.String(), warns)
 }
 
 // Fig5Breakdown reproduces Figure 5: application / profiling / migration
@@ -191,16 +219,17 @@ func Fig5Breakdown(o Options) string {
 	cfg := o.config()
 	sols := []string{"first-touch", "tiered-autonuma", "autotiering", "mtm"}
 	tb := stats.NewTable("workload", "solution", "app", "profiling", "migration", "total")
+	var warns []string
 	for _, wl := range mtm.WorkloadNames() {
 		for _, sol := range sols {
 			res, err := mtm.Run(cfg, wl, sol)
-			if err != nil {
+			if res, err = note(&warns, res, err); err != nil {
 				return err.Error()
 			}
 			tb.Row(wl, res.Solution, res.App, res.Profiling, res.Migration, res.ExecTime)
 		}
 	}
-	return "Figure 5: execution time breakdown\n" + tb.String()
+	return withWarnings("Figure 5: execution time breakdown\n"+tb.String(), warns)
 }
 
 // Fig6Heatmap reproduces Figure 6: whether the profilers find GUPS's three

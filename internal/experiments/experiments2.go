@@ -26,14 +26,15 @@ func Fig7Ablations(o Options) string {
 		"mtm-wo-amr", "mtm-wo-pebs", "mtm-wo-aps", "mtm-wo-oc", "mtm-wo-async",
 	}
 	tb := stats.NewTable("solution", "app", "profiling", "migration", "total")
+	var warns []string
 	for _, sol := range sols {
 		res, err := mtm.Run(cfg, "voltdb", sol)
-		if err != nil {
+		if res, err = note(&warns, res, err); err != nil {
 			return err.Error()
 		}
 		tb.Row(res.Solution, res.App, res.Profiling, res.Migration, res.ExecTime)
 	}
-	return "Figure 7: adaptive profiling / migration ablations (VoltDB)\n" + tb.String()
+	return withWarnings("Figure 7: adaptive profiling / migration ablations (VoltDB)\n"+tb.String(), warns)
 }
 
 // Fig8OverheadSweep reproduces Figure 8: VoltDB execution time under
@@ -42,16 +43,17 @@ func Fig8OverheadSweep(o Options) string {
 	cfg := o.config()
 	cfg.Interval = 5 * time.Second / time.Duration(cfg.Scale)
 	tb := stats.NewTable("target", "app", "profiling", "migration", "total")
+	var warns []string
 	for _, target := range []float64{0.01, 0.02, 0.03, 0.05, 0.10} {
 		c := cfg
 		c.OverheadTarget = target
 		res, err := mtm.Run(c, "voltdb", "mtm")
-		if err != nil {
+		if res, err = note(&warns, res, err); err != nil {
 			return err.Error()
 		}
 		tb.Row(fmt.Sprintf("%.0f%%", target*100), res.App, res.Profiling, res.Migration, res.ExecTime)
 	}
-	return "Figure 8: profiling overhead target sweep (VoltDB, 5s interval)\n" + tb.String()
+	return withWarnings("Figure 8: profiling overhead target sweep (VoltDB, 5s interval)\n"+tb.String(), warns)
 }
 
 // Fig9Thresholds reproduces Figure 9: VoltDB under (τm, τs) settings for
@@ -67,6 +69,7 @@ func Fig9Thresholds(o Options) string {
 		{6, 0, 6}, {6, 2, 2}, {6, 2, 4}, {6, 4, 0}, {6, 4, 2}, {6, 6, 0},
 	}
 	tb := stats.NewTable("num_scans", "tau_m", "tau_s", "app", "profiling", "migration", "total")
+	var warns []string
 	for _, pt := range points {
 		pc := profiler.DefaultMTMConfig()
 		pc.OverheadTarget = 0.05
@@ -79,10 +82,13 @@ func Fig9Thresholds(o Options) string {
 		if err != nil {
 			return err.Error()
 		}
-		res := mtm.RunWith(cfg, w, s)
+		res, err := mtm.RunWith(cfg, w, s)
+		if res, err = note(&warns, res, err); err != nil {
+			return err.Error()
+		}
 		tb.Row(pt.numScans, pt.tauM, pt.tauS, res.App, res.Profiling, res.Migration, res.ExecTime)
 	}
-	return "Figure 9: (tau_m, tau_s) sensitivity (VoltDB)\n" + tb.String()
+	return withWarnings("Figure 9: (tau_m, tau_s) sensitivity (VoltDB)\n"+tb.String(), warns)
 }
 
 func mustBudget(c mtm.Config) int64 {
@@ -102,6 +108,7 @@ func Fig10Alpha(o Options) string {
 	cfg := o.config()
 	alphas := []float64{-1, 0.25, 0.5, 0.75, 1} // -1 encodes α=0
 	tb := stats.NewTable("workload", "alpha", "exec", "speedup vs α=1/2")
+	var warns []string
 	for _, wl := range mtm.WorkloadNames() {
 		var base float64
 		var rows []struct {
@@ -112,7 +119,7 @@ func Fig10Alpha(o Options) string {
 			c := cfg
 			c.Alpha = a
 			res, err := mtm.Run(c, wl, "mtm")
-			if err != nil {
+			if res, err = note(&warns, res, err); err != nil {
 				return err.Error()
 			}
 			if a == 0.5 {
@@ -131,7 +138,7 @@ func Fig10Alpha(o Options) string {
 			tb.Row(wl, shown, r.exec, base/r.exec.Seconds())
 		}
 	}
-	return "Figure 10: EMA weight α sweep (normalized to α=1/2)\n" + tb.String()
+	return withWarnings("Figure 10: EMA weight α sweep (normalized to α=1/2)\n"+tb.String(), warns)
 }
 
 // Fig11Mechanisms reproduces Figure 11: migrating a 1 GB (scaled) array
@@ -191,6 +198,7 @@ func Fig12TwoTier(o Options) string {
 	dram := 96 * tier.GB / cfg.Scale
 	ratios := []float64{0.25, 0.5, 0.75, 1.0, 1.25, 1.5}
 	tb := stats.NewTable("ws/fast ratio", "threads", "solution", "exec", "updates/sec (M)")
+	var warns []string
 	for _, threads := range []int{16, 24} {
 		for _, ratio := range ratios {
 			table := int64(float64(dram) * ratio)
@@ -203,13 +211,16 @@ func Fig12TwoTier(o Options) string {
 					return err.Error()
 				}
 				w := workload.NewGUPSSized(table, ops)
-				res := mtm.RunWith(c, w, s)
+				res, err := mtm.RunWith(c, w, s)
+				if res, err = note(&warns, res, err); err != nil {
+					return err.Error()
+				}
 				gups := float64(ops) / res.ExecTime.Seconds() / 1e6
 				tb.Row(fmt.Sprintf("%.2f", ratio), threads, res.Solution, res.ExecTime, gups)
 			}
 		}
 	}
-	return "Figure 12: two-tier GUPS vs HeMem (throughput, higher is better)\n" + tb.String()
+	return withWarnings("Figure 12: two-tier GUPS vs HeMem (throughput, higher is better)\n"+tb.String(), warns)
 }
 
 // Tab3HotPages reproduces Table 3: hot volume identified and fast-tier
@@ -217,6 +228,7 @@ func Fig12TwoTier(o Options) string {
 func Tab3HotPages(o Options) string {
 	cfg := o.config()
 	tb := stats.NewTable("workload", "solution", "hot identified (MB/interval)", "fast-tier accesses (M)")
+	var warns []string
 	for _, wl := range mtm.WorkloadNames() {
 		for _, sol := range []string{"vanilla-tiered-autonuma", "tiered-autonuma", "mtm"} {
 			s, err := mtm.NewSolution(sol, cfg)
@@ -228,7 +240,10 @@ func Tab3HotPages(o Options) string {
 				return err.Error()
 			}
 			e := mtm.NewEngine(cfg)
-			res := sim.Run(e, w, s, mtm.MaxIntervals)
+			res, err := sim.Run(e, w, s, mtm.MaxIntervals)
+			if res, err = note(&warns, res, err); err != nil {
+				return err.Error()
+			}
 			// Average volume classified hot per interval, the Table 3
 			// metric: AutoNUMA accumulates its classifications; MTM's
 			// identified set is what the histogram holds hot at the end
@@ -249,7 +264,7 @@ func Tab3HotPages(o Options) string {
 			tb.Row(wl, res.Solution, hot>>20, float64(fast)/1e6)
 		}
 	}
-	return "Table 3: hot volume identified and fast-tier accesses\n" + tb.String()
+	return withWarnings("Table 3: hot volume identified and fast-tier accesses\n"+tb.String(), warns)
 }
 
 // hotResident sums the bytes already resident in DRAM that the final
@@ -280,6 +295,7 @@ func hotResident(e *sim.Engine) int64 {
 func Tab4InitialPlacement(o Options) string {
 	cfg := o.config()
 	tb := stats.NewTable("giga-updates (scaled)", "slow tier first", "first-touch")
+	var warns []string
 	for _, frac := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
 		var execs []time.Duration
 		for _, placement := range []policy.Placement{policy.PlaceSlowLocalFirst, policy.PlaceFastFirst} {
@@ -294,12 +310,15 @@ func Tab4InitialPlacement(o Options) string {
 			if err != nil {
 				return err.Error()
 			}
-			res := mtm.RunWith(c, w, s)
+			res, err := mtm.RunWith(c, w, s)
+			if res, err = note(&warns, res, err); err != nil {
+				return err.Error()
+			}
 			execs = append(execs, res.ExecTime)
 		}
 		tb.Row(fmt.Sprintf("%.1f", frac), execs[0], execs[1])
 	}
-	return "Table 4: GUPS with different initial page placements (MTM)\n" + tb.String()
+	return withWarnings("Table 4: GUPS with different initial page placements (MTM)\n"+tb.String(), warns)
 }
 
 // Tab5MemoryOverhead reproduces Table 5: MTM's metadata footprint per
@@ -332,9 +351,10 @@ func Tab5MemoryOverhead(o Options) string {
 func Tab6TierAccesses(o Options) string {
 	cfg := o.config()
 	tb := stats.NewTable("solution", "tier1 (M)", "tier2 (M)", "tier3 (M)", "tier4 (M)")
+	var warns []string
 	for _, sol := range []string{"tiered-autonuma", "autotiering", "mtm"} {
 		res, err := mtm.Run(cfg, "voltdb", sol)
-		if err != nil {
+		if res, err = note(&warns, res, err); err != nil {
 			return err.Error()
 		}
 		view := mtm.NewEngine(cfg).Sys.Topo.View(0)
@@ -345,7 +365,7 @@ func Tab6TierAccesses(o Options) string {
 		}
 		tb.Row(row...)
 	}
-	return "Table 6: memory accesses per tier (VoltDB)\n" + tb.String()
+	return withWarnings("Table 6: memory accesses per tier (VoltDB)\n"+tb.String(), warns)
 }
 
 // Tab7RegionStats reproduces Table 7: per-interval region merge/split
@@ -388,11 +408,12 @@ func CXLGenerality(o Options) string {
 	cfg := o.config()
 	cfg.CXL = true
 	tb := stats.NewTable("workload", "solution", "exec", "normalized", "DRAM share")
+	var warns []string
 	for _, wl := range []string{"gups", "voltdb"} {
 		var base float64
 		for _, sol := range []string{"first-touch", "tiered-autonuma", "mtm"} {
 			res, err := mtm.Run(cfg, wl, sol)
-			if err != nil {
+			if res, err = note(&warns, res, err); err != nil {
 				return err.Error()
 			}
 			if sol == "first-touch" {
@@ -402,5 +423,5 @@ func CXLGenerality(o Options) string {
 			tb.Row(wl, res.Solution, res.ExecTime, res.ExecTime.Seconds()/base, share)
 		}
 	}
-	return "CXL generality (§8): three-tier DRAM+CXL machine\n" + tb.String()
+	return withWarnings("CXL generality (§8): three-tier DRAM+CXL machine\n"+tb.String(), warns)
 }

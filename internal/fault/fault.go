@@ -1,0 +1,241 @@
+// Package fault is the deterministic fault-injection layer of the
+// simulator. Real multi-tiered kernels live with routine failure:
+// move_pages() returns EBUSY/EAGAIN for pinned or locked pages, tiers fill
+// up mid-migration, PEBS drops samples under interrupt storms, and link
+// bandwidth degrades under contention from other tenants. The happy-path
+// simulator hides all of that; an Injector puts it back, seed-driven and
+// fully deterministic, so robustness experiments are as reproducible as
+// performance ones.
+//
+// The Injector implements sim.FaultPlane. All randomness comes from its
+// own rand.Rand, never the engine's: attaching an injector whose classes
+// are all disabled leaves a run bit-identical to one with no injector at
+// all, and enabling a class perturbs only the decisions that class owns.
+//
+// Failure classes (each with a real-kernel analogue, see DESIGN.md):
+//
+//   - page-busy: per-page transient migration failure (EBUSY on a pinned
+//     or concurrently-accessed page), with a wasted-work time penalty;
+//   - tier-pressure: a destination tier transiently signals allocation
+//     pressure (watermarks breached; admission control should back off);
+//   - sample-drop: PEBS interrupt storms lose a fraction of samples;
+//   - link-degrade: a socket→node link runs at a fraction of its rated
+//     bandwidth for a window of intervals.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"mtm/internal/tier"
+	"mtm/internal/vm"
+)
+
+// DefaultBusyPenalty is the wasted kernel time of one failed page-move
+// attempt (lock the page, discover it is busy, unwind) when a scenario
+// does not set its own.
+const DefaultBusyPenalty = 3 * time.Microsecond
+
+// Config describes the failure classes an Injector drives. The zero value
+// injects nothing. Probabilities are in [0, 1]; a "duty" is the fraction
+// of profiling intervals during which a class is active (its storm
+// windows), drawn independently per interval.
+type Config struct {
+	// PageBusyProb is the per-attempt probability that copying one page
+	// fails with an EBUSY-style transient error while the class is active.
+	PageBusyProb float64
+	// PageBusyDuty is the fraction of intervals the EBUSY class is active
+	// (1 = every interval).
+	PageBusyDuty float64
+	// BusyPenalty is the wasted kernel time charged per failed attempt;
+	// 0 selects DefaultBusyPenalty.
+	BusyPenalty time.Duration
+
+	// PressureProb is the per-node, per-interval probability that a tier
+	// signals transient allocation pressure. Admission control defers
+	// promotions into pressured tiers.
+	PressureProb float64
+
+	// SampleDropDuty is the fraction of intervals a PEBS drop storm is
+	// active; SampleDropFrac is the fraction of samples lost during one.
+	SampleDropDuty float64
+	SampleDropFrac float64
+
+	// LinkDegradeDuty is the fraction of intervals any given socket→node
+	// link is degraded; LinkDegradeFactor (>1) divides its bandwidth.
+	LinkDegradeDuty   float64
+	LinkDegradeFactor float64
+}
+
+// Injector is a deterministic fault source implementing sim.FaultPlane.
+// Not safe for concurrent use (the engine is single-threaded).
+type Injector struct {
+	Cfg Config
+
+	rng     *rand.Rand
+	sockets int
+	nodes   int
+
+	busyActive bool
+	dropActive bool
+	pressured  []bool
+	degraded   [][]bool
+
+	// Decision counters, for tests and reporting.
+	BusyInjected     int64
+	PressureInjected int64
+}
+
+// NewInjector builds an injector over cfg with its own deterministic RNG.
+func NewInjector(cfg Config, seed int64) *Injector {
+	if cfg.BusyPenalty <= 0 {
+		cfg.BusyPenalty = DefaultBusyPenalty
+	}
+	return &Injector{Cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Attach sizes the injector's per-node state to the machine. The engine
+// calls it from SetFaultPlane.
+func (in *Injector) Attach(sockets, nodes int) {
+	in.sockets, in.nodes = sockets, nodes
+	in.pressured = make([]bool, nodes)
+	in.degraded = make([][]bool, sockets)
+	for s := range in.degraded {
+		in.degraded[s] = make([]bool, nodes)
+	}
+}
+
+// BeginInterval redraws the storm windows for one profiling interval.
+// Draws happen only for enabled classes, in a fixed order, so a config
+// with one class enabled consumes exactly that class's share of the
+// random stream.
+func (in *Injector) BeginInterval(interval int) {
+	if in.Cfg.PageBusyProb > 0 {
+		duty := in.Cfg.PageBusyDuty
+		if duty <= 0 {
+			duty = 1
+		}
+		in.busyActive = in.rng.Float64() < duty
+	}
+	if in.Cfg.PressureProb > 0 {
+		for n := range in.pressured {
+			in.pressured[n] = in.rng.Float64() < in.Cfg.PressureProb
+			if in.pressured[n] {
+				in.PressureInjected++
+			}
+		}
+	}
+	if in.Cfg.SampleDropDuty > 0 && in.Cfg.SampleDropFrac > 0 {
+		in.dropActive = in.rng.Float64() < in.Cfg.SampleDropDuty
+	}
+	if in.Cfg.LinkDegradeDuty > 0 && in.Cfg.LinkDegradeFactor > 1 {
+		for s := range in.degraded {
+			for n := range in.degraded[s] {
+				in.degraded[s][n] = in.rng.Float64() < in.Cfg.LinkDegradeDuty
+			}
+		}
+	}
+}
+
+// PageBusy reports whether one attempt to copy page idx of v to dst fails
+// with a transient EBUSY, and the wasted kernel time of the attempt.
+func (in *Injector) PageBusy(v *vm.VMA, idx int, dst tier.NodeID) (bool, time.Duration) {
+	if !in.busyActive || in.Cfg.PageBusyProb <= 0 {
+		return false, 0
+	}
+	if in.rng.Float64() >= in.Cfg.PageBusyProb {
+		return false, 0
+	}
+	in.BusyInjected++
+	return true, in.Cfg.BusyPenalty
+}
+
+// DestPressure reports whether node n is under transient allocation
+// pressure this interval.
+func (in *Injector) DestPressure(n tier.NodeID) bool {
+	if int(n) < 0 || int(n) >= len(in.pressured) {
+		return false
+	}
+	return in.pressured[n]
+}
+
+// SampleDropFrac returns the fraction of PEBS samples lost this interval
+// (0 outside a storm).
+func (in *Injector) SampleDropFrac() float64 {
+	if !in.dropActive {
+		return 0
+	}
+	return in.Cfg.SampleDropFrac
+}
+
+// LinkBWFactor returns the bandwidth-degradation divisor (>= 1) of the
+// socket→node link this interval.
+func (in *Injector) LinkBWFactor(socket int, n tier.NodeID) float64 {
+	if socket < 0 || socket >= len(in.degraded) {
+		return 1
+	}
+	row := in.degraded[socket]
+	if int(n) < 0 || int(n) >= len(row) || !row[n] {
+		return 1
+	}
+	return in.Cfg.LinkDegradeFactor
+}
+
+// scenarios maps named scenarios to their configs. Names are part of the
+// CLI surface (mtmsim -faults).
+var scenarios = map[string]Config{
+	// ebusy-storm: 10% of page copies fail transiently in every interval —
+	// the THP-pinning / concurrent-access regime Nomad's transactional
+	// migration targets.
+	"ebusy-storm": {PageBusyProb: 0.10, PageBusyDuty: 1.0},
+	// tier-pressure: tiers intermittently refuse promotions, the admission
+	// control regime of TierBPF-style shedding.
+	"tier-pressure": {PressureProb: 0.5},
+	// pebs-storm: interrupt overload drops three quarters of samples in
+	// half the intervals; profilers must survive a starved signal.
+	"pebs-storm": {SampleDropDuty: 0.5, SampleDropFrac: 0.75},
+	// link-degrade: links intermittently run at a quarter of their rated
+	// bandwidth (noisy-neighbour interconnect contention).
+	"link-degrade": {LinkDegradeDuty: 0.5, LinkDegradeFactor: 4},
+	// chaos: everything at once, for worst-case soak runs.
+	"chaos": {
+		PageBusyProb: 0.10, PageBusyDuty: 1.0,
+		PressureProb:   0.25,
+		SampleDropDuty: 0.25, SampleDropFrac: 0.75,
+		LinkDegradeDuty: 0.25, LinkDegradeFactor: 4,
+	},
+}
+
+// Scenarios lists the named scenarios, sorted, with "none" first.
+func Scenarios() []string {
+	names := make([]string, 0, len(scenarios)+1)
+	for n := range scenarios {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return append([]string{"none"}, names...)
+}
+
+// Valid reports whether name is a known scenario ("" and "none" are the
+// no-injection scenarios).
+func Valid(name string) bool {
+	if name == "" || name == "none" {
+		return true
+	}
+	_, ok := scenarios[name]
+	return ok
+}
+
+// NewScenario builds the named scenario's injector, or nil for ""/"none".
+func NewScenario(name string, seed int64) (*Injector, error) {
+	if name == "" || name == "none" {
+		return nil, nil
+	}
+	cfg, ok := scenarios[name]
+	if !ok {
+		return nil, fmt.Errorf("fault: unknown scenario %q (have %v)", name, Scenarios())
+	}
+	return NewInjector(cfg, seed), nil
+}

@@ -1,0 +1,132 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestInjectorDeterministic(t *testing.T) {
+	mk := func() []bool {
+		in := NewInjector(Config{PageBusyProb: 0.3, PageBusyDuty: 1}, 42)
+		in.Attach(2, 4)
+		var decisions []bool
+		for i := 0; i < 5; i++ {
+			in.BeginInterval(i)
+			for p := 0; p < 50; p++ {
+				busy, _ := in.PageBusy(nil, p, 0)
+				decisions = append(decisions, busy)
+			}
+		}
+		return decisions
+	}
+	if !reflect.DeepEqual(mk(), mk()) {
+		t.Fatal("same seed produced different injection decisions")
+	}
+	in := NewInjector(Config{PageBusyProb: 0.3, PageBusyDuty: 1}, 42)
+	in.Attach(2, 4)
+	in.BeginInterval(0)
+	any := false
+	for p := 0; p < 200; p++ {
+		if busy, pen := in.PageBusy(nil, p, 0); busy {
+			any = true
+			if pen != DefaultBusyPenalty {
+				t.Fatalf("penalty = %v, want default %v", pen, DefaultBusyPenalty)
+			}
+		}
+	}
+	if !any {
+		t.Fatal("30% probability injected nothing in 200 attempts")
+	}
+}
+
+func TestZeroConfigInjectsNothing(t *testing.T) {
+	in := NewInjector(Config{}, 7)
+	in.Attach(2, 4)
+	for i := 0; i < 10; i++ {
+		in.BeginInterval(i)
+		if busy, _ := in.PageBusy(nil, 0, 0); busy {
+			t.Fatal("zero config injected page-busy")
+		}
+		if in.DestPressure(0) || in.SampleDropFrac() != 0 || in.LinkBWFactor(0, 0) != 1 {
+			t.Fatal("zero config injected a fault")
+		}
+	}
+}
+
+func TestDutyCycleGatesStorms(t *testing.T) {
+	in := NewInjector(Config{SampleDropDuty: 0.5, SampleDropFrac: 0.75}, 3)
+	in.Attach(1, 2)
+	active := 0
+	const n = 400
+	for i := 0; i < n; i++ {
+		in.BeginInterval(i)
+		switch f := in.SampleDropFrac(); f {
+		case 0.75:
+			active++
+		case 0:
+		default:
+			t.Fatalf("drop frac = %v, want 0 or 0.75", f)
+		}
+	}
+	if active < n/4 || active > 3*n/4 {
+		t.Fatalf("0.5 duty active in %d/%d intervals", active, n)
+	}
+}
+
+func TestLinkDegradeBounds(t *testing.T) {
+	in := NewInjector(Config{LinkDegradeDuty: 1, LinkDegradeFactor: 4}, 1)
+	in.Attach(2, 3)
+	in.BeginInterval(0)
+	if f := in.LinkBWFactor(0, 0); f != 4 {
+		t.Fatalf("degraded factor = %v, want 4", f)
+	}
+	// Out-of-range lookups are safe and undegraded.
+	if in.LinkBWFactor(5, 0) != 1 || in.LinkBWFactor(0, 99) != 1 || in.DestPressure(99) {
+		t.Fatal("out-of-range lookup not neutral")
+	}
+}
+
+func TestScenarioRegistry(t *testing.T) {
+	names := Scenarios()
+	if names[0] != "none" {
+		t.Fatalf("Scenarios()[0] = %q, want none", names[0])
+	}
+	for _, n := range names {
+		if !Valid(n) {
+			t.Fatalf("listed scenario %q not Valid", n)
+		}
+		inj, err := NewScenario(n, 1)
+		if err != nil {
+			t.Fatalf("NewScenario(%q): %v", n, err)
+		}
+		if (inj == nil) != (n == "none") {
+			t.Fatalf("NewScenario(%q) injector nil=%v", n, inj == nil)
+		}
+	}
+	if Valid("bogus") {
+		t.Fatal("bogus scenario Valid")
+	}
+	if _, err := NewScenario("bogus", 1); err == nil {
+		t.Fatal("NewScenario(bogus) did not error")
+	}
+	if inj, err := NewScenario("", 1); err != nil || inj != nil {
+		t.Fatalf("empty scenario: %v, %v", inj, err)
+	}
+	if cfg := scenarios["ebusy-storm"]; cfg.PageBusyProb != 0.10 {
+		t.Fatalf("ebusy-storm probability = %v, want 0.10", cfg.PageBusyProb)
+	}
+}
+
+func TestBusyPenaltyConfigurable(t *testing.T) {
+	in := NewInjector(Config{PageBusyProb: 1, PageBusyDuty: 1, BusyPenalty: 9 * time.Microsecond}, 1)
+	in.Attach(1, 1)
+	in.BeginInterval(0)
+	busy, pen := in.PageBusy(nil, 0, 0)
+	if !busy || pen != 9*time.Microsecond {
+		t.Fatalf("busy=%v penalty=%v", busy, pen)
+	}
+	if in.BusyInjected != 1 {
+		t.Fatalf("BusyInjected = %d", in.BusyInjected)
+	}
+}

@@ -75,6 +75,65 @@ type Report struct {
 	ExtraCopyBytes int64
 	// SwitchedToSync reports MTM's adaptive fallback firing.
 	SwitchedToSync bool
+
+	// Robustness accounting (non-zero only under fault injection):
+	// transient-EBUSY attempts retried, transactions aborted after the
+	// retry budget, bytes copied and thrown away by aborts, and the
+	// wasted-work time (busy attempts, backoffs, aborted copies) charged
+	// on top of the productive migration steps.
+	Retries      int64
+	Aborts       int64
+	WastedBytes  int64
+	RetryPenalty time.Duration
+}
+
+// RetryPolicy bounds per-page retries of transient copy failures with
+// capped exponential backoff. Backoff is charged in virtual time, so runs
+// stay deterministic — there is no wall-clock sleeping and no jitter. The
+// zero value selects DefaultRetry, which keeps `MovePages{}`-style
+// mechanism literals valid.
+type RetryPolicy struct {
+	MaxAttempts int           // copy attempts per page before aborting
+	BaseBackoff time.Duration // backoff after the first failed attempt
+	MaxBackoff  time.Duration // cap for the exponential growth
+}
+
+// DefaultRetry mirrors the kernel's bounded migrate_pages() retry loop
+// (it tries a page a handful of times before giving up with EBUSY).
+var DefaultRetry = RetryPolicy{
+	MaxAttempts: 5,
+	BaseBackoff: 5 * time.Microsecond,
+	MaxBackoff:  80 * time.Microsecond,
+}
+
+// norm resolves the zero value and missing fields to DefaultRetry.
+func (p RetryPolicy) norm() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		return DefaultRetry
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = DefaultRetry.BaseBackoff
+	}
+	if p.MaxBackoff < p.BaseBackoff {
+		p.MaxBackoff = p.BaseBackoff
+	}
+	return p
+}
+
+// Backoff returns the virtual-time backoff after the n-th failed attempt
+// (n >= 1): BaseBackoff doubled per retry, capped at MaxBackoff.
+func (p RetryPolicy) Backoff(n int) time.Duration {
+	d := p.BaseBackoff
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= p.MaxBackoff {
+			return p.MaxBackoff
+		}
+	}
+	if d > p.MaxBackoff {
+		return p.MaxBackoff
+	}
+	return d
 }
 
 // Mechanism migrates a span of pages [start, end) of a VMA to dst and
@@ -87,106 +146,213 @@ type Mechanism interface {
 	Migrate(e *sim.Engine, v *vm.VMA, start, end int, dst tier.NodeID, maxPages int) Report
 }
 
-// linkBW returns the bandwidth of the narrower link of a src→dst copy
-// issued from the engine's home socket.
-func linkBW(e *sim.Engine, src, dst tier.NodeID) int64 {
-	ls := e.Sys.Topo.Links[e.HomeSocket][src]
-	ld := e.Sys.Topo.Links[e.HomeSocket][dst]
-	if ls.Bandwidth < ld.Bandwidth {
-		return ls.Bandwidth
+// pairBW returns the bandwidth of the narrower link of a src→dst copy
+// issued from the engine's home socket, after any fault-plane link
+// degradation.
+func pairBW(e *sim.Engine, src, dst tier.NodeID) int64 {
+	bs := e.LinkBandwidth(e.HomeSocket, src)
+	bd := e.LinkBandwidth(e.HomeSocket, dst)
+	if bs < bd {
+		return bs
 	}
-	return ld.Bandwidth
+	return bd
 }
 
 func copyTime(bytes int64, bw int64) time.Duration {
 	return time.Duration(float64(bytes) / float64(bw) * float64(time.Second))
 }
 
+// weightedCopyTime charges each source node's bytes at its own src→dst
+// pair bandwidth, capped at bwCap (<= 0 means uncapped). Spans whose
+// pages start on multiple nodes thereby pay the correct per-link time
+// instead of the first page's link for everything. Duration addition is
+// integer, so the sum is order-independent and deterministic.
+func weightedCopyTime(e *sim.Engine, srcBytes []int64, dst tier.NodeID, bwCap int64) time.Duration {
+	var d time.Duration
+	for src, bytes := range srcBytes {
+		if bytes == 0 {
+			continue
+		}
+		bw := pairBW(e, tier.NodeID(src), dst)
+		if bwCap > 0 && bwCap < bw {
+			bw = bwCap
+		}
+		d += copyTime(bytes, bw)
+	}
+	return d
+}
+
+// dominantSrc returns the source node contributing the most bytes
+// (Invalid if none) — the representative source for per-region effects
+// like dirty-page re-copies.
+func dominantSrc(srcBytes []int64) tier.NodeID {
+	best := tier.Invalid
+	var bestBytes int64
+	for src, b := range srcBytes {
+		if b > bestBytes {
+			bestBytes, best = b, tier.NodeID(src)
+		}
+	}
+	return best
+}
+
+// rebindResult is the outcome of the transactional rebind loop.
+type rebindResult struct {
+	moved      int
+	bytes      int64
+	srcBytes   []int64 // productive bytes per source node, indexed by NodeID
+	retries    int64
+	aborts     int64
+	waste      time.Duration // busy attempts + backoffs + aborted copies
+	wasteBytes int64         // bytes copied then thrown away by aborts
+}
+
 // rebind moves pages one by one until dst runs out of space or maxPages
-// pages have moved (maxPages <= 0 means no cap); it returns the number of
-// pages moved, the bytes, and the source node of the first moved page
-// (Invalid if nothing moved), and records bandwidth demand on both nodes.
-func rebind(e *sim.Engine, v *vm.VMA, start, end int, dst tier.NodeID, maxPages int) (int, int64, tier.NodeID) {
-	moved := 0
-	var bytes int64
-	srcNode := tier.Invalid
+// pages have moved (maxPages <= 0 means no cap), recording bandwidth
+// demand on both nodes. Each page move is a transaction (Nomad-style
+// copy-then-commit): MoveBegin reserves the destination frame, the copy
+// is attempted under the retry policy, and the move either commits or
+// aborts with the tier accounting rolled back. A page that exhausts its
+// retry budget is skipped, not fatal — later pages still move. Aborted
+// pages count against the maxPages cap: the cap models a per-call work
+// budget, and failed attempts consume it like the kernel's nr_pages do.
+func rebind(e *sim.Engine, v *vm.VMA, start, end int, dst tier.NodeID, maxPages int, rp RetryPolicy) rebindResult {
+	rp = rp.norm()
+	res := rebindResult{srcBytes: make([]int64, len(e.Sys.Topo.Nodes))}
+	attempted := 0
 	for i := start; i < end; i++ {
-		if maxPages > 0 && moved >= maxPages {
+		if maxPages > 0 && attempted >= maxPages {
 			break
 		}
 		if !v.Present(i) || v.Node(i) == dst {
 			continue
 		}
 		src := v.Node(i)
-		if !e.MovePage(v, i, dst) {
-			break
+		if !e.MoveBegin(v, i, dst) {
+			break // destination full; partial move keeps accounting exact
 		}
-		if srcNode == tier.Invalid {
-			srcNode = src
+		attempted++
+		ok := false
+		for attempt := 1; attempt <= rp.MaxAttempts; attempt++ {
+			busy, penalty := e.PageBusy(v, i, dst)
+			if !busy {
+				ok = true
+				break
+			}
+			res.waste += penalty
+			if attempt < rp.MaxAttempts {
+				res.retries++
+				e.NoteMigrationRetry()
+				res.waste += rp.Backoff(attempt)
+			}
 		}
-		moved++
-		bytes += v.PageSize
+		if !ok {
+			// Retry budget exhausted: roll back the reservation. The last
+			// attempt's copy had already streamed the page, so its copy
+			// time and link traffic are wasted work.
+			e.MoveAborted(v, i, dst)
+			res.aborts++
+			res.wasteBytes += v.PageSize
+			res.waste += copyTime(v.PageSize, pairBW(e, src, dst))
+			e.Sys.RecordTransfer(src, v.PageSize)
+			e.Sys.RecordTransfer(dst, v.PageSize)
+			continue
+		}
+		e.MoveCommit(v, i, dst)
+		res.moved++
+		res.bytes += v.PageSize
+		res.srcBytes[src] += v.PageSize
 		e.Sys.RecordTransfer(src, v.PageSize)
 		e.Sys.RecordTransfer(dst, v.PageSize)
 	}
-	return moved, bytes, srcNode
+	return res
+}
+
+// robustness copies the rebind loop's retry/abort accounting into a
+// report and returns the wasted-work time to fold into the charge.
+func (r rebindResult) robustness(rep *Report) time.Duration {
+	rep.Retries = r.retries
+	rep.Aborts = r.aborts
+	rep.WastedBytes = r.wasteBytes
+	rep.RetryPenalty = r.waste
+	return r.waste
 }
 
 // MovePages models Linux move_pages(): the four steps run sequentially on
 // the calling thread, the copy is single-threaded, and THP mappings are
 // split so every 4 KB page pays per-PTE costs (§7.1).
-type MovePages struct{}
+type MovePages struct {
+	// Retry bounds per-page retries of transient copy failures; the zero
+	// value is DefaultRetry.
+	Retry RetryPolicy
+}
 
 func (MovePages) Name() string { return "move_pages" }
 
-func (MovePages) Migrate(e *sim.Engine, v *vm.VMA, start, end int, dst tier.NodeID, maxPages int) Report {
-	moved, bytes, srcNode := rebind(e, v, start, end, dst, maxPages)
-	if moved == 0 {
-		return Report{}
+func (m MovePages) Migrate(e *sim.Engine, v *vm.VMA, start, end int, dst tier.NodeID, maxPages int) Report {
+	rb := rebind(e, v, start, end, dst, maxPages, m.Retry)
+	var rep Report
+	waste := rb.robustness(&rep)
+	if rb.moved == 0 {
+		if waste > 0 {
+			e.ChargeMigration(waste)
+			rep.Critical = waste
+		}
+		return rep
 	}
-	n4k := bytes / vm.BasePageSize // THP split: per-4KB-PTE work
-	bw := linkBW(e, srcNode, dst)
-	if SingleThreadCopyBW < bw {
-		bw = SingleThreadCopyBW
-	}
+	n4k := rb.bytes / vm.BasePageSize // THP split: per-4KB-PTE work
 	st := Steps{
 		Alloc:     time.Duration(n4k) * AllocPerPTE,
 		Unmap:     time.Duration(n4k) * UnmapPerPTE,
-		Copy:      time.Duration(n4k)*CopyPerPTE + copyTime(bytes, bw),
+		Copy:      time.Duration(n4k)*CopyPerPTE + weightedCopyTime(e, rb.srcBytes, dst, SingleThreadCopyBW),
 		Remap:     time.Duration(n4k) * RemapPerPTE,
 		PageTable: time.Duration(n4k) * PTPerPTE,
 	}
-	e.ChargeMigration(st.Total())
-	return Report{MovedPages: moved, Bytes: bytes, Critical: st.Total(), CriticalSteps: st}
+	e.ChargeMigration(st.Total() + waste)
+	rep.MovedPages = rb.moved
+	rep.Bytes = rb.bytes
+	rep.Critical = st.Total() + waste
+	rep.CriticalSteps = st
+	return rep
 }
 
 // Nimble models Nimble page management: still synchronous, but with
 // multi-threaded parallel copy and exchange-style allocation that halves
 // allocation work. Per-PTE bookkeeping happens at 4 KB granularity like
 // move_pages (migration splits THP mappings).
-type Nimble struct{}
+type Nimble struct {
+	// Retry bounds per-page retries of transient copy failures; the zero
+	// value is DefaultRetry.
+	Retry RetryPolicy
+}
 
 func (Nimble) Name() string { return "nimble" }
 
-func (Nimble) Migrate(e *sim.Engine, v *vm.VMA, start, end int, dst tier.NodeID, maxPages int) Report {
-	moved, bytes, srcNode := rebind(e, v, start, end, dst, maxPages)
-	if moved == 0 {
-		return Report{}
+func (m Nimble) Migrate(e *sim.Engine, v *vm.VMA, start, end int, dst tier.NodeID, maxPages int) Report {
+	rb := rebind(e, v, start, end, dst, maxPages, m.Retry)
+	var rep Report
+	waste := rb.robustness(&rep)
+	if rb.moved == 0 {
+		if waste > 0 {
+			e.ChargeMigration(waste)
+			rep.Critical = waste
+		}
+		return rep
 	}
-	n4k := bytes / vm.BasePageSize
-	bw := linkBW(e, srcNode, dst)
-	if th := int64(CopyThreads) * SingleThreadCopyBW; th < bw {
-		bw = th
-	}
+	n4k := rb.bytes / vm.BasePageSize
 	st := Steps{
 		Alloc:     time.Duration(n4k) * AllocPerPTE / 2, // exchange pages
 		Unmap:     time.Duration(n4k) * UnmapPerPTE,
-		Copy:      time.Duration(n4k)*CopyPerPTE/CopyThreads + copyTime(bytes, bw),
+		Copy:      time.Duration(n4k)*CopyPerPTE/CopyThreads + weightedCopyTime(e, rb.srcBytes, dst, int64(CopyThreads)*SingleThreadCopyBW),
 		Remap:     time.Duration(n4k) * RemapPerPTE,
 		PageTable: time.Duration(n4k) * PTPerPTE,
 	}
-	e.ChargeMigration(st.Total())
-	return Report{MovedPages: moved, Bytes: bytes, Critical: st.Total(), CriticalSteps: st}
+	e.ChargeMigration(st.Total() + waste)
+	rep.MovedPages = rb.moved
+	rep.Bytes = rb.bytes
+	rep.Critical = st.Total() + waste
+	rep.CriticalSteps = st
+	return rep
 }
 
 // Adaptive models MTM's move_memory_regions() (§7.2): allocation and copy
@@ -204,6 +370,9 @@ type Adaptive struct {
 	// interval's ground-truth write counters. Microbenchmarks use the
 	// override to model concurrent writers.
 	WriteRate float64
+	// Retry bounds per-page retries of transient copy failures; the zero
+	// value is DefaultRetry.
+	Retry RetryPolicy
 }
 
 // NewAdaptive returns the default MTM mechanism.
@@ -224,28 +393,33 @@ func (a *Adaptive) Migrate(e *sim.Engine, v *vm.VMA, start, end int, dst tier.No
 	for i := start; i < end; i++ {
 		writes += v.WriteCount(i)
 	}
-	moved, bytes, srcNode := rebind(e, v, start, end, dst, maxPages)
-	if moved == 0 {
-		return Report{}
+	rb := rebind(e, v, start, end, dst, maxPages, a.Retry)
+	var rep Report
+	waste := rb.robustness(&rep)
+	if rb.moved == 0 {
+		if waste > 0 {
+			e.ChargeMigration(waste)
+			rep.Critical = waste
+		}
+		return rep
 	}
+	moved, bytes := rb.moved, rb.bytes
+	srcNode := dominantSrc(rb.srcBytes)
 	n4k := bytes / vm.BasePageSize // same 4 KB PTE granularity as move_pages
-	bw := linkBW(e, srcNode, dst)
-	if th := int64(CopyThreads) * SingleThreadCopyBW; th < bw {
-		bw = th
-	}
 	alloc := time.Duration(n4k) * AllocPerPTE
-	cp := time.Duration(n4k)*CopyPerPTE/CopyThreads + copyTime(bytes, bw)
+	cp := time.Duration(n4k)*CopyPerPTE/CopyThreads + weightedCopyTime(e, rb.srcBytes, dst, int64(CopyThreads)*SingleThreadCopyBW)
 	crit := Steps{
 		Unmap:     time.Duration(n4k) * UnmapPerPTE,
 		Remap:     time.Duration(n4k) * RemapPerPTE,
 		PageTable: time.Duration(n4k) * PTPerPTE,
 	}
-	rep := Report{MovedPages: moved, Bytes: bytes}
+	rep.MovedPages = moved
+	rep.Bytes = bytes
 
 	if a.ForceSync {
 		crit.Alloc = alloc
 		crit.Copy = cp
-		rep.Critical = crit.Total()
+		rep.Critical = crit.Total() + waste
 		rep.CriticalSteps = crit
 		e.ChargeMigration(rep.Critical)
 		return rep
@@ -275,11 +449,7 @@ func (a *Adaptive) Migrate(e *sim.Engine, v *vm.VMA, start, end int, dst tier.No
 		done := e.Rng.Float64() * firstWrite
 		dirtyFrac := 0.25 * done // already-copied pages dirtied meanwhile
 		crit.DirtyTrack += DirtyFaultCost
-		syncBW := linkBW(e, srcNode, dst)
-		if SingleThreadCopyBW < syncBW {
-			syncBW = SingleThreadCopyBW
-		}
-		syncCopy := time.Duration(n4k)*CopyPerPTE + copyTime(bytes, syncBW)
+		syncCopy := time.Duration(n4k)*CopyPerPTE + weightedCopyTime(e, rb.srcBytes, dst, SingleThreadCopyBW)
 		crit.Copy = time.Duration(float64(syncCopy) * (1 - done + dirtyFrac))
 		crit.Alloc = 0 // allocation had completed in the background
 		rep.ExtraCopyBytes = int64(float64(bytes) * dirtyFrac)
@@ -287,7 +457,7 @@ func (a *Adaptive) Migrate(e *sim.Engine, v *vm.VMA, start, end int, dst tier.No
 	} else {
 		rep.Background = alloc + cp
 	}
-	rep.Critical = crit.Total()
+	rep.Critical = crit.Total() + waste
 	rep.CriticalSteps = crit
 	e.ChargeMigration(rep.Critical)
 	e.ChargeBackground(rep.Background)

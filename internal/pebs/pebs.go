@@ -42,6 +42,11 @@ type Buffer struct {
 	WindowFrac   float64 // fraction of the interval the counters are armed
 	Capacity     int     // samples before an interrupt fires
 
+	// DropFrac is the fraction of would-be samples lost to interrupt
+	// storms this window (fault injection); 0 means lossless sampling.
+	// The engine sets it per interval from the fault plane.
+	DropFrac float64
+
 	watched    []bool
 	armed      bool
 	samples    []Sample
@@ -49,6 +54,7 @@ type Buffer struct {
 	dropped    int
 	rng        *rand.Rand
 	carry      float64 // fractional expected samples carried between calls
+	dropCarry  float64 // fractional dropped samples carried between calls
 }
 
 // NewBuffer creates a buffer with the paper's defaults and the given
@@ -79,6 +85,7 @@ func (b *Buffer) Arm(nodes ...tier.NodeID) {
 	b.armed = true
 	b.samples = b.samples[:0]
 	b.carry = 0
+	b.dropCarry = 0
 }
 
 // Disarm stops sampling.
@@ -100,7 +107,18 @@ func (b *Buffer) Record(v *vm.VMA, page int, node tier.NodeID, n uint32) {
 	if !b.Watches(node) {
 		return
 	}
-	exp := float64(n)*b.WindowFrac/float64(b.SamplePeriod) + b.carry
+	raw := float64(n) * b.WindowFrac / float64(b.SamplePeriod)
+	if b.DropFrac > 0 {
+		// Interrupt storm: a fraction of samples never reaches the buffer.
+		// The branch keeps the DropFrac == 0 arithmetic bit-identical to
+		// the pre-fault-injection sampler.
+		lost := raw*b.DropFrac + b.dropCarry
+		k := int(lost)
+		b.dropCarry = lost - float64(k)
+		b.dropped += k
+		raw -= raw * b.DropFrac
+	}
+	exp := raw + b.carry
 	k := int(exp)
 	b.carry = exp - float64(k)
 	for i := 0; i < k; i++ {
@@ -123,5 +141,6 @@ func (b *Buffer) Samples() []Sample { return b.samples }
 // Interrupts returns how many buffer-full interrupts have fired.
 func (b *Buffer) Interrupts() int { return b.interrupts }
 
-// Dropped returns how many samples were lost to buffer-full conditions.
+// Dropped returns how many samples were lost to buffer-full conditions or
+// interrupt-storm drops (DropFrac).
 func (b *Buffer) Dropped() int { return b.dropped }

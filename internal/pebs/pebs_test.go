@@ -113,3 +113,64 @@ func TestSampleIdentity(t *testing.T) {
 		}
 	}
 }
+
+func TestDropStormReducesSamples(t *testing.T) {
+	// A 75% drop storm must cut delivered samples to ~25% and account the
+	// lost ones in Dropped, like a PEBS interrupt overflow.
+	clean := NewBuffer(4, 1<<20, rand.New(rand.NewSource(42)))
+	clean.Arm(2)
+	storm := NewBuffer(4, 1<<20, rand.New(rand.NewSource(42)))
+	storm.Arm(2)
+	storm.DropFrac = 0.75
+	v := testVMA()
+	const accesses = 4_000_000
+	clean.Record(v, 0, 2, accesses)
+	storm.Record(v, 0, 2, accesses)
+	base, got := len(clean.Samples()), len(storm.Samples())
+	want := base / 4
+	if got < want*8/10 || got > want*12/10 {
+		t.Fatalf("storm delivered %d samples, want ~%d (clean %d)", got, want, base)
+	}
+	if storm.Dropped() < base/2 {
+		t.Fatalf("Dropped = %d, want roughly 3/4 of %d", storm.Dropped(), base)
+	}
+}
+
+func TestDropFracZeroIdentical(t *testing.T) {
+	// DropFrac 0 must leave the sample stream bit-identical: the drop
+	// branch may not perturb the float carry math.
+	a := NewBuffer(4, 1<<20, rand.New(rand.NewSource(9)))
+	a.Arm(2)
+	b := NewBuffer(4, 1<<20, rand.New(rand.NewSource(9)))
+	b.Arm(2)
+	b.DropFrac = 0
+	v := testVMA()
+	for i := 0; i < 1000; i++ {
+		a.Record(v, i%v.NPages, 2, 37)
+		b.Record(v, i%v.NPages, 2, 37)
+	}
+	sa, sb := a.Samples(), b.Samples()
+	if len(sa) != len(sb) {
+		t.Fatalf("sample counts differ: %d vs %d", len(sa), len(sb))
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("sample %d differs: %+v vs %+v", i, sa[i], sb[i])
+		}
+	}
+	if b.Dropped() != a.Dropped() {
+		t.Fatal("Dropped differs with DropFrac 0")
+	}
+}
+
+func TestRearmResetsDropCarry(t *testing.T) {
+	b := NewBuffer(4, 1<<20, rand.New(rand.NewSource(3)))
+	b.Arm(2)
+	b.DropFrac = 0.5
+	v := testVMA()
+	b.Record(v, 0, 2, 300) // leaves a fractional drop carry behind
+	b.Arm(2)
+	if b.dropCarry != 0 {
+		t.Fatalf("dropCarry = %v after re-arm, want 0", b.dropCarry)
+	}
+}

@@ -135,6 +135,15 @@ func (p *MTM) promote(e *sim.Engine, hist *region.Histogram) {
 		// etc., with room made by slow demotion on the way.
 		for dstRank := 0; dstRank < worstRank; dstRank++ {
 			dst := view[dstRank]
+			if e.PromotionPressure(dst) {
+				// Admission control (TierBPF-style shedding): the tier
+				// signals transient allocation pressure, so promoting into
+				// it now would burn budget on doomed moves. Defer; the
+				// region stays eligible and the unused budget carries into
+				// the next interval.
+				e.NoteDeferredPromotion()
+				continue
+			}
 			need := int64(minInt(maxPages, r.Pages())) * r.V.PageSize
 			if e.Sys.Free(dst) < need {
 				demoted := p.makeRoom(e, hist, dst, need-e.Sys.Free(dst), view, demoteBudget, r.WHI)

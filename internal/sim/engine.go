@@ -12,7 +12,6 @@
 package sim
 
 import (
-	"fmt"
 	"math/rand"
 	"time"
 
@@ -96,7 +95,9 @@ type Engine struct {
 	// charged (trace recording). It must not issue accesses itself.
 	Observer func(v *vm.VMA, idx int, n, nw uint32, socket int)
 
-	sol Solution
+	sol    Solution
+	faults FaultPlane
+	failed error // sticky first failure (e.g. *OOMError)
 
 	clock time.Duration
 
@@ -123,6 +124,14 @@ type Engine struct {
 	Intervals     int
 	Log           []IntervalStats
 	KeepLog       bool
+
+	// Robustness accounting (transactional migration and the emergency
+	// out-of-memory path).
+	MigrationRetries   int64 // page-copy attempts retried after EBUSY
+	MigrationAborts    int64 // page-move transactions rolled back
+	WastedBytes        int64 // copy bytes thrown away by aborts
+	DeferredPromotions int64 // promotions deferred by admission control
+	EmergencyDemotions int64 // emergency-reclaim events in the fault path
 
 	latCache [][]time.Duration
 }
@@ -176,12 +185,16 @@ func (e *Engine) SetSolution(s Solution) { e.sol = s }
 // of v from the given socket. Non-present pages fault and are placed by
 // the active solution.
 func (e *Engine) Access(v *vm.VMA, idx int, n, nw uint32, socket int) {
-	if n == 0 {
+	if n == 0 || e.failed != nil {
 		return
 	}
 	node, fault := v.TouchN(idx, n, nw, socket)
 	if fault {
-		node = e.handleFault(v, idx, socket)
+		var ok bool
+		node, ok = e.handleFault(v, idx, socket)
+		if !ok {
+			return // placement failed; the engine carries the error
+		}
 		v.TouchN(idx, n, nw, socket)
 	}
 	if e.Intercept != nil {
@@ -203,13 +216,19 @@ func (e *Engine) Access(v *vm.VMA, idx int, n, nw uint32, socket int) {
 }
 
 // handleFault places a first-touched page via the solution, falling back
-// to any node with space when the preferred node is full.
-func (e *Engine) handleFault(v *vm.VMA, idx int, socket int) tier.NodeID {
+// to any node with space when the preferred node is full and to emergency
+// demotion when every node is full. On true exhaustion it records a sticky
+// *OOMError and reports ok=false instead of panicking.
+func (e *Engine) handleFault(v *vm.VMA, idx int, socket int) (tier.NodeID, bool) {
 	node := e.sol.Place(e, v, idx, socket)
 	if node == tier.Invalid || !e.Sys.Reserve(node, v.PageSize) {
 		node = e.Sys.FirstFit(e.Sys.Topo.View(socket), v.PageSize)
 		if node == tier.Invalid {
-			panic(fmt.Sprintf("sim: out of memory placing %v page %d", v, idx))
+			node = e.emergencyReclaim(socket, v.PageSize)
+		}
+		if node == tier.Invalid {
+			e.fail(&OOMError{VMA: v.String(), Page: idx, Need: v.PageSize})
+			return tier.Invalid, false
 		}
 		e.Sys.Reserve(node, v.PageSize)
 	}
@@ -220,24 +239,22 @@ func (e *Engine) handleFault(v *vm.VMA, idx int, socket int) tier.NodeID {
 	zero := e.Sys.CopyTime(socket, node, node, v.PageSize)
 	e.intApp += e.FaultCost + zero
 	e.Sys.RecordTransfer(node, v.PageSize)
-	return node
+	return node, true
 }
 
 // MovePage rebinds page idx of v from its current node to dst, updating
 // capacity accounting. It does not charge time; migration mechanisms do.
-// It reports whether the move happened (false when dst is full).
+// It reports whether the move happened (false when dst is full). It is
+// the non-transactional fast path: MoveBegin followed immediately by
+// MoveCommit (mechanisms that can fail mid-copy use those directly).
 func (e *Engine) MovePage(v *vm.VMA, idx int, dst tier.NodeID) bool {
-	src := v.Node(idx)
-	if src == dst {
+	if v.Node(idx) == dst {
 		return true
 	}
-	if !e.Sys.Reserve(dst, v.PageSize) {
+	if !e.MoveBegin(v, idx, dst) {
 		return false
 	}
-	if src != vm.NoNode {
-		e.Sys.Release(src, v.PageSize)
-	}
-	v.Place(idx, dst)
+	e.MoveCommit(v, idx, dst)
 	return true
 }
 
@@ -263,12 +280,16 @@ func (e *Engine) AppTimeThisInterval() time.Duration {
 }
 
 // IntervalExhausted reports whether the application has consumed its
-// interval budget.
+// interval budget. A failed engine (out of memory) always reports true so
+// workload loops terminate instead of spinning on no-op accesses.
 func (e *Engine) IntervalExhausted() bool {
-	return e.AppTimeThisInterval() >= e.Interval
+	return e.failed != nil || e.AppTimeThisInterval() >= e.Interval
 }
 
 func (e *Engine) beginInterval() {
+	if e.faults != nil {
+		e.faults.BeginInterval(e.Intervals)
+	}
 	e.intApp, e.intProf, e.intMig, e.intBg = 0, 0, 0, 0
 	e.intPromoted, e.intDemoted = 0, 0
 	for i := range e.intAccesses {
@@ -310,6 +331,10 @@ func (e *Engine) endInterval() {
 func (e *Engine) RunInterval(w Workload) {
 	e.beginInterval()
 	e.sol.IntervalStart(e)
+	if e.faults != nil && e.PEBS != nil {
+		// Sample-drop storms apply to the window the solution just armed.
+		e.PEBS.DropFrac = e.faults.SampleDropFrac()
+	}
 	w.RunInterval(e)
 	e.sol.IntervalEnd(e)
 	e.endInterval()
@@ -317,44 +342,63 @@ func (e *Engine) RunInterval(w Workload) {
 
 // Result summarises a complete run.
 type Result struct {
-	Solution      string
-	Workload      string
-	ExecTime      time.Duration
-	App           time.Duration
-	Profiling     time.Duration
-	Migration     time.Duration
-	Background    time.Duration
-	Intervals     int
-	Completed     bool
+	Solution   string
+	Workload   string
+	ExecTime   time.Duration
+	App        time.Duration
+	Profiling  time.Duration
+	Migration  time.Duration
+	Background time.Duration
+	Intervals  int
+	Completed  bool
+	// Truncated reports that maxIntervals elapsed before the workload
+	// finished: the run is a partial result, not a completed one.
+	Truncated     bool
 	NodeAccesses  []int64
 	TotalAccesses int64
 	PromotedBytes int64
 	DemotedBytes  int64
+
+	// Robustness accounting (non-zero only under fault injection or
+	// capacity emergencies).
+	MigrationRetries   int64
+	MigrationAborts    int64
+	WastedBytes        int64
+	DeferredPromotions int64
+	EmergencyDemotions int64
 }
 
-// Run drives workload w under solution sol until the workload completes
-// or maxIntervals elapse, and returns the summary.
-func Run(e *Engine, w Workload, sol Solution, maxIntervals int) *Result {
+// Run drives workload w under solution sol until the workload completes,
+// maxIntervals elapse, or the engine fails (out of memory). It returns the
+// summary alongside the engine's failure, if any; the summary covers the
+// partial run in the error case.
+func Run(e *Engine, w Workload, sol Solution, maxIntervals int) (*Result, error) {
 	e.sol = sol
 	w.Init(e)
-	for i := 0; i < maxIntervals && !w.Done(); i++ {
+	for i := 0; i < maxIntervals && !w.Done() && e.failed == nil; i++ {
 		e.RunInterval(w)
 	}
 	na := make([]int64, len(e.NodeAccesses))
 	copy(na, e.NodeAccesses)
 	return &Result{
-		Solution:      sol.Name(),
-		Workload:      w.Name(),
-		ExecTime:      e.clock,
-		App:           e.TotalApp,
-		Profiling:     e.TotalProf,
-		Migration:     e.TotalMig,
-		Background:    e.TotalBg,
-		Intervals:     e.Intervals,
-		Completed:     w.Done(),
-		NodeAccesses:  na,
-		TotalAccesses: e.TotalAccesses,
-		PromotedBytes: e.PromotedBytes,
-		DemotedBytes:  e.DemotedBytes,
-	}
+		Solution:           sol.Name(),
+		Workload:           w.Name(),
+		ExecTime:           e.clock,
+		App:                e.TotalApp,
+		Profiling:          e.TotalProf,
+		Migration:          e.TotalMig,
+		Background:         e.TotalBg,
+		Intervals:          e.Intervals,
+		Completed:          w.Done() && e.failed == nil,
+		Truncated:          e.failed == nil && !w.Done(),
+		NodeAccesses:       na,
+		TotalAccesses:      e.TotalAccesses,
+		PromotedBytes:      e.PromotedBytes,
+		DemotedBytes:       e.DemotedBytes,
+		MigrationRetries:   e.MigrationRetries,
+		MigrationAborts:    e.MigrationAborts,
+		WastedBytes:        e.WastedBytes,
+		DeferredPromotions: e.DeferredPromotions,
+		EmergencyDemotions: e.EmergencyDemotions,
+	}, e.failed
 }

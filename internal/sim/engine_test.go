@@ -136,7 +136,10 @@ func TestIntervalLoopAccounting(t *testing.T) {
 	e := newTestEngine()
 	sol := &fixedSolution{node: 0, prof: time.Millisecond, mig: 2 * time.Millisecond}
 	w := &fixedWorkload{perInt: 100, intervals: 3}
-	res := Run(e, w, sol, 10)
+	res, err := Run(e, w, sol, 10)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 	if !res.Completed || res.Intervals != 3 {
 		t.Fatalf("intervals = %d completed=%v", res.Intervals, res.Completed)
 	}
@@ -157,7 +160,13 @@ func TestIntervalLoopAccounting(t *testing.T) {
 func TestMaxIntervalsStopsRun(t *testing.T) {
 	e := newTestEngine()
 	w := &fixedWorkload{perInt: 1, intervals: 1 << 30}
-	res := Run(e, w, &fixedSolution{node: 0}, 5)
+	res, err := Run(e, w, &fixedSolution{node: 0}, 5)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Truncated {
+		t.Fatal("run stopped by maxIntervals must be flagged Truncated")
+	}
 	if res.Completed || res.Intervals != 5 {
 		t.Fatalf("intervals=%d completed=%v", res.Intervals, res.Completed)
 	}
@@ -211,7 +220,11 @@ func TestDeterminism(t *testing.T) {
 	run := func() *Result {
 		e := NewEngine(tier.OptaneTopology(256), 99)
 		e.Interval = 10 * time.Millisecond
-		return Run(e, &fixedWorkload{perInt: 500, intervals: 4}, &fixedSolution{node: 2, prof: time.Millisecond}, 10)
+		res, err := Run(e, &fixedWorkload{perInt: 500, intervals: 4}, &fixedSolution{node: 2, prof: time.Millisecond}, 10)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res
 	}
 	a, b := run(), run()
 	if a.ExecTime != b.ExecTime || a.TotalAccesses != b.TotalAccesses {
@@ -222,7 +235,10 @@ func TestDeterminism(t *testing.T) {
 func TestKeepLog(t *testing.T) {
 	e := newTestEngine()
 	e.KeepLog = true
-	res := Run(e, &fixedWorkload{perInt: 10, intervals: 3}, &fixedSolution{node: 0, mig: time.Millisecond}, 10)
+	res, err := Run(e, &fixedWorkload{perInt: 10, intervals: 3}, &fixedSolution{node: 0, mig: time.Millisecond}, 10)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 	if len(e.Log) != res.Intervals {
 		t.Fatalf("log entries = %d, want %d", len(e.Log), res.Intervals)
 	}

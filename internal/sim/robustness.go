@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"mtm/internal/tier"
+	"mtm/internal/vm"
+)
+
+// FaultPlane is the engine's hook for deterministic fault injection (see
+// internal/fault). All methods must be cheap and side-effect-free from the
+// engine's point of view; any randomness must come from the plane's own
+// source so that an attached-but-inactive plane leaves runs bit-identical
+// to an engine with no plane at all.
+type FaultPlane interface {
+	// Attach sizes per-node state; called once by SetFaultPlane.
+	Attach(sockets, nodes int)
+	// BeginInterval redraws storm windows at each interval boundary.
+	BeginInterval(interval int)
+	// PageBusy reports whether one attempt to copy page idx of v to dst
+	// fails with a transient EBUSY, and the wasted time of the attempt.
+	PageBusy(v *vm.VMA, idx int, dst tier.NodeID) (bool, time.Duration)
+	// DestPressure reports whether node n signals transient allocation
+	// pressure this interval.
+	DestPressure(n tier.NodeID) bool
+	// SampleDropFrac is the fraction of PEBS samples lost this interval.
+	SampleDropFrac() float64
+	// LinkBWFactor is the bandwidth-degradation divisor (>= 1) of the
+	// socket→node link this interval.
+	LinkBWFactor(socket int, n tier.NodeID) float64
+}
+
+// SetFaultPlane attaches a fault plane to the engine (nil detaches).
+func (e *Engine) SetFaultPlane(fp FaultPlane) {
+	e.faults = fp
+	if fp != nil {
+		fp.Attach(e.Sys.Topo.Sockets, len(e.Sys.Topo.Nodes))
+	}
+}
+
+// FaultPlaneAttached reports whether a fault plane is installed.
+func (e *Engine) FaultPlaneAttached() bool { return e.faults != nil }
+
+// PageBusy consults the fault plane for an EBUSY-style transient failure
+// of copying page idx of v to dst. Without a plane it is always (false, 0).
+func (e *Engine) PageBusy(v *vm.VMA, idx int, dst tier.NodeID) (bool, time.Duration) {
+	if e.faults == nil {
+		return false, 0
+	}
+	return e.faults.PageBusy(v, idx, dst)
+}
+
+// LinkBandwidth returns the effective bandwidth of the socket→node link,
+// reduced while the fault plane degrades it.
+func (e *Engine) LinkBandwidth(socket int, n tier.NodeID) int64 {
+	bw := e.Sys.Topo.Links[socket][n].Bandwidth
+	if e.faults != nil {
+		if f := e.faults.LinkBWFactor(socket, n); f > 1 {
+			bw = int64(float64(bw) / f)
+			if bw < 1 {
+				bw = 1
+			}
+		}
+	}
+	return bw
+}
+
+// admissionContention is the contention factor above which a destination
+// tier counts as saturated for promotion admission control.
+const admissionContention = 4.0
+
+// PromotionPressure reports whether promotions into dst should be deferred
+// this interval: the fault plane signals transient capacity pressure, or
+// the node's observed bandwidth contention shows heavy oversubscription.
+// Without a fault plane it always reports false, which keeps baseline runs
+// bit-identical to the pre-fault-injection engine.
+func (e *Engine) PromotionPressure(dst tier.NodeID) bool {
+	if e.faults == nil {
+		return false
+	}
+	return e.faults.DestPressure(dst) || e.contention[dst] >= admissionContention
+}
+
+// NoteDeferredPromotion records one promotion deferred by admission
+// control.
+func (e *Engine) NoteDeferredPromotion() { e.DeferredPromotions++ }
+
+// NoteMigrationRetry records one retried page-copy attempt.
+func (e *Engine) NoteMigrationRetry() { e.MigrationRetries++ }
+
+// MoveBegin opens a page-move transaction: room for the page is reserved
+// on dst while the page stays mapped on its source (copy-then-commit, the
+// Nomad transactional migration shape). It reports false, leaving all
+// state unchanged, when dst has no room.
+func (e *Engine) MoveBegin(v *vm.VMA, idx int, dst tier.NodeID) bool {
+	return e.Sys.Reserve(dst, v.PageSize)
+}
+
+// MoveCommit completes a transaction opened by MoveBegin: the source frame
+// is released and the page rebinds to dst.
+func (e *Engine) MoveCommit(v *vm.VMA, idx int, dst tier.NodeID) {
+	if src := v.Node(idx); src != vm.NoNode && src != dst {
+		e.Sys.Release(src, v.PageSize)
+	}
+	v.Place(idx, dst)
+}
+
+// MoveAborted rolls back a transaction opened by MoveBegin: the dst
+// reservation is released, the page keeps its source frame, and the abort
+// plus its thrown-away copy bytes are recorded.
+func (e *Engine) MoveAborted(v *vm.VMA, idx int, dst tier.NodeID) {
+	e.Sys.Release(dst, v.PageSize)
+	e.MigrationAborts++
+	e.WastedBytes += v.PageSize
+}
+
+// ErrOutOfMemory is the sentinel for capacity exhaustion: every tier is
+// full (after emergency demotion failed to consolidate enough room) while
+// a fault needed a frame. Use errors.Is against run errors.
+var ErrOutOfMemory = errors.New("sim: out of memory")
+
+// OOMError carries the details of a failed placement. It unwraps to
+// ErrOutOfMemory.
+type OOMError struct {
+	VMA  string // the faulting VMA's description
+	Page int    // faulting page index
+	Need int64  // bytes that could not be placed
+}
+
+func (e *OOMError) Error() string {
+	return fmt.Sprintf("sim: out of memory placing %s page %d (%d bytes)", e.VMA, e.Page, e.Need)
+}
+
+func (e *OOMError) Unwrap() error { return ErrOutOfMemory }
+
+// Err returns the engine's sticky failure (an *OOMError), or nil. Once a
+// failure is recorded the engine stops servicing accesses and Run returns
+// the error.
+func (e *Engine) Err() error { return e.failed }
+
+// fail records the first failure; later calls keep the original.
+func (e *Engine) fail(err error) {
+	if e.failed == nil {
+		e.failed = err
+	}
+}
+
+// emergencyDemotePageCost is the fixed per-page kernel work of the
+// emergency (direct-reclaim-style) demotion path, on top of the copy.
+const emergencyDemotePageCost = 2 * time.Microsecond
+
+// emergencyReclaim is the simulator's direct-reclaim analogue, run only
+// when every tier failed FirstFit for a faulting page: walk the view
+// fastest-first and try to consolidate enough room on one node by pushing
+// its coldest resident pages down to slower nodes with free space. This
+// rescues the fragmented-capacity case (free bytes exist but no single
+// node can hold the new page); when total capacity is genuinely exhausted
+// it returns Invalid and the fault fails with ErrOutOfMemory.
+func (e *Engine) emergencyReclaim(socket int, need int64) tier.NodeID {
+	view := e.Sys.Topo.View(socket)
+	for vi, cand := range view {
+		if e.Sys.Free(cand) >= need {
+			return cand
+		}
+		lower := view[vi+1:]
+		if len(lower) == 0 {
+			break
+		}
+		if e.demoteColdest(cand, lower, need-e.Sys.Free(cand)) {
+			e.EmergencyDemotions++
+			return cand
+		}
+	}
+	return tier.Invalid
+}
+
+// demoteColdest pushes the coldest resident pages of node down to the
+// first lower-tier node with room until need bytes are freed. It reports
+// whether the full amount was freed; partial progress is kept (the
+// capacity accounting stays exact either way).
+func (e *Engine) demoteColdest(node tier.NodeID, lower []tier.NodeID, need int64) bool {
+	type cold struct {
+		v     *vm.VMA
+		idx   int
+		count uint32
+	}
+	var pages []cold
+	for _, v := range e.AS.VMAs() {
+		for i := 0; i < v.NPages; i++ {
+			if v.Present(i) && v.Node(i) == node {
+				pages = append(pages, cold{v, i, v.Count(i)})
+			}
+		}
+	}
+	// Coldest first; the slice is built in (VMA, page) order, so the
+	// stable sort keeps victim selection deterministic.
+	sort.SliceStable(pages, func(a, b int) bool { return pages[a].count < pages[b].count })
+	var freed int64
+	for _, p := range pages {
+		if freed >= need {
+			break
+		}
+		var dst tier.NodeID = tier.Invalid
+		for _, l := range lower {
+			if e.Sys.Free(l) >= p.v.PageSize {
+				dst = l
+				break
+			}
+		}
+		if dst == tier.Invalid {
+			break
+		}
+		if !e.MovePage(p.v, p.idx, dst) {
+			break
+		}
+		freed += p.v.PageSize
+		// Emergency demotion runs synchronously inside the fault path:
+		// the copy and fixed kernel work land on application time.
+		e.intApp += e.Sys.CopyTime(e.HomeSocket, node, dst, p.v.PageSize) + emergencyDemotePageCost
+		e.Sys.RecordTransfer(node, p.v.PageSize)
+		e.Sys.RecordTransfer(dst, p.v.PageSize)
+		e.NoteDemotion(p.v.PageSize)
+	}
+	return freed >= need
+}

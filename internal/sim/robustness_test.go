@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mtm/internal/tier"
+	"mtm/internal/vm"
+)
+
+func TestOutOfMemoryGraceful(t *testing.T) {
+	// 4 MB DRAM + 4 MB PM holds four huge pages; touching eight must fail
+	// with a typed error instead of panicking.
+	e := NewEngine(tier.TwoTierTopology(4*tier.MB, 4*tier.MB), 1)
+	e.Interval = time.Second
+	e.SetSolution(&fixedSolution{node: 0})
+	e.beginInterval()
+	v := e.AS.Alloc("big", 16*tier.MB)
+	for i := 0; i < v.NPages; i++ {
+		e.Access(v, i, 1, 0, 0)
+	}
+	err := e.Err()
+	if err == nil {
+		t.Fatal("no error after exhausting both tiers")
+	}
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+	var oe *OOMError
+	if !errors.As(err, &oe) || oe.Need != vm.HugePageSize {
+		t.Fatalf("err = %#v, want *OOMError needing one huge page", err)
+	}
+	if !e.IntervalExhausted() {
+		t.Fatal("failed engine must report the interval exhausted")
+	}
+	// Later accesses are no-ops: the engine carries the sticky error.
+	before := e.TotalAccesses
+	e.Access(v, 0, 5, 0, 0)
+	if e.TotalAccesses != before {
+		t.Fatal("access after failure still charged")
+	}
+}
+
+// hogWorkload touches every page of a VMA twice the machine's capacity.
+type hogWorkload struct {
+	v    *vm.VMA
+	done bool
+}
+
+func (w *hogWorkload) Name() string { return "hog" }
+func (w *hogWorkload) Init(e *Engine) {
+	w.v = e.AS.Alloc("hog", 8*tier.MB)
+}
+func (w *hogWorkload) RunInterval(e *Engine) {
+	for i := 0; i < w.v.NPages && !e.IntervalExhausted(); i++ {
+		e.Access(w.v, i, 1, 0, 0)
+	}
+	w.done = true
+}
+func (w *hogWorkload) Done() bool            { return w.done }
+func (w *hogWorkload) ReadFraction() float64 { return 1 }
+
+func TestRunReturnsOOMWithPartialResult(t *testing.T) {
+	// Two huge pages of capacity against an 8 MB working set: Run must
+	// surface the failure alongside the partial summary.
+	e := NewEngine(tier.TwoTierTopology(2*tier.MB, 2*tier.MB), 1)
+	e.Interval = time.Second
+	res, err := Run(e, &hogWorkload{}, &fixedSolution{node: 0}, 10)
+	if !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+	if res == nil || res.Completed || res.Truncated {
+		t.Fatalf("partial result wrong: %+v", res)
+	}
+}
+
+func TestEmergencyDemotionRescuesFragmentation(t *testing.T) {
+	// 7 MB of cold 4 KB pages on each 8 MB node: no node has room for a
+	// 2 MB huge page, but demoting 1 MB of cold DRAM pages to PM
+	// consolidates enough. The fault must survive via emergency demotion.
+	e := NewEngine(tier.TwoTierTopology(8*tier.MB, 8*tier.MB), 1)
+	e.Interval = time.Second
+	e.beginInterval()
+	e.AS.THP = false
+	e.SetSolution(&fixedSolution{node: 0})
+	fill0 := e.AS.Alloc("fill0", 7*tier.MB)
+	for i := 0; i < fill0.NPages; i++ {
+		e.Access(fill0, i, 1, 0, 0)
+	}
+	e.SetSolution(&fixedSolution{node: 1})
+	fill1 := e.AS.Alloc("fill1", 7*tier.MB)
+	for i := 0; i < fill1.NPages; i++ {
+		e.Access(fill1, i, 1, 0, 0)
+	}
+	e.AS.THP = true
+	e.SetSolution(&fixedSolution{node: 0})
+	huge := e.AS.Alloc("huge", vm.HugePageSize)
+	e.Access(huge, 0, 1, 0, 0)
+	if err := e.Err(); err != nil {
+		t.Fatalf("huge fault failed despite reclaimable space: %v", err)
+	}
+	if e.EmergencyDemotions != 1 {
+		t.Fatalf("EmergencyDemotions = %d, want 1", e.EmergencyDemotions)
+	}
+	if huge.Node(0) != 0 {
+		t.Fatalf("huge page on node %d, want 0 (DRAM)", huge.Node(0))
+	}
+	// Exact capacity accounting: 14 MB of filler plus the huge page, no
+	// node over capacity, demoted filler pages present on PM.
+	if used := e.Sys.Used(0) + e.Sys.Used(1); used != 14*tier.MB+vm.HugePageSize {
+		t.Fatalf("total used = %d", used)
+	}
+	if e.Sys.Used(0) > 8*tier.MB || e.Sys.Used(1) > 8*tier.MB {
+		t.Fatal("node over capacity after emergency demotion")
+	}
+	demoted := 0
+	for i := 0; i < fill0.NPages; i++ {
+		if fill0.Node(i) == 1 {
+			demoted++
+		}
+	}
+	if want := int(tier.MB / vm.BasePageSize); demoted != want {
+		t.Fatalf("demoted %d filler pages, want %d", demoted, want)
+	}
+}
+
+func TestEmergencyDemotionCannotFixTrueExhaustion(t *testing.T) {
+	// With the lower tier also full, demotion has nowhere to go: the
+	// fault must fail with ErrOutOfMemory, not loop or panic.
+	e := NewEngine(tier.TwoTierTopology(2*tier.MB, 2*tier.MB), 1)
+	e.Interval = time.Second
+	e.beginInterval()
+	e.SetSolution(&fixedSolution{node: 0})
+	v := e.AS.Alloc("fill", 4*tier.MB)
+	for i := 0; i < v.NPages; i++ {
+		e.Access(v, i, 1, 0, 0)
+	}
+	if e.Err() != nil {
+		t.Fatalf("filling to capacity failed early: %v", e.Err())
+	}
+	extra := e.AS.Alloc("extra", vm.HugePageSize)
+	e.Access(extra, 0, 1, 0, 0)
+	if !errors.Is(e.Err(), ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", e.Err())
+	}
+	if e.EmergencyDemotions != 0 {
+		t.Fatalf("EmergencyDemotions = %d, want 0 (nothing reclaimable)", e.EmergencyDemotions)
+	}
+}

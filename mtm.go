@@ -29,6 +29,7 @@ import (
 	"sort"
 	"time"
 
+	"mtm/internal/fault"
 	"mtm/internal/migrate"
 	"mtm/internal/policy"
 	"mtm/internal/profiler"
@@ -70,6 +71,12 @@ type Config struct {
 	Alpha float64
 	// KeepLog records per-interval statistics on the engine.
 	KeepLog bool
+	// Faults names a fault-injection scenario (see fault.Scenarios);
+	// "" or "none" runs without injection.
+	Faults string
+	// FaultSeed seeds the injector's own random stream; 0 selects Seed+1
+	// so fault decisions never perturb the engine's randomness.
+	FaultSeed int64
 }
 
 // DefaultScale mirrors workload.DefaultScale.
@@ -106,7 +113,30 @@ func (c Config) withDefaults() Config {
 	case c.Alpha < 0:
 		c.Alpha = 0
 	}
+	if c.FaultSeed == 0 {
+		c.FaultSeed = c.Seed + 1
+	}
 	return c
+}
+
+// Validate reports configurations that would produce a degenerate engine.
+// Run calls it; construct-your-own-engine callers should too. The
+// resolved Interval and MigrateBudget must stay positive — at extreme
+// Scale values (more than 10s of nanoseconds, or more than 800 MB in
+// bytes) the defaults would otherwise truncate to zero and the engine
+// would spin on a zero-length interval or never migrate.
+func (c Config) Validate() error {
+	r := c.withDefaults()
+	if r.Interval <= 0 {
+		return fmt.Errorf("mtm: config resolves to a non-positive Interval (Scale=%d too extreme; set Interval explicitly)", r.Scale)
+	}
+	if r.MigrateBudget <= 0 {
+		return fmt.Errorf("mtm: config resolves to a non-positive MigrateBudget (Scale=%d too extreme; set MigrateBudget explicitly)", r.Scale)
+	}
+	if !fault.Valid(r.Faults) {
+		return fmt.Errorf("mtm: unknown fault scenario %q (have %v)", r.Faults, fault.Scenarios())
+	}
+	return nil
 }
 
 // Topology returns the machine the config selects.
@@ -121,13 +151,18 @@ func (c Config) Topology() *tier.Topology {
 	return tier.OptaneTopology(c.Scale)
 }
 
-// NewEngine builds a configured simulation engine.
+// NewEngine builds a configured simulation engine. An invalid Faults
+// scenario is ignored here (Validate reports it); injector attachment
+// only happens for known scenarios.
 func NewEngine(c Config) *sim.Engine {
 	c = c.withDefaults()
 	e := sim.NewEngine(c.Topology(), c.Seed)
 	e.Threads = c.Threads
 	e.Interval = c.Interval
 	e.KeepLog = c.KeepLog
+	if inj, err := fault.NewScenario(c.Faults, c.FaultSeed); err == nil && inj != nil {
+		e.SetFaultPlane(inj)
+	}
 	return e
 }
 
@@ -260,6 +295,10 @@ func SolutionNames() []string {
 	return names
 }
 
+// FaultScenarios lists the named fault-injection scenarios usable in
+// Config.Faults (and mtmsim -faults).
+func FaultScenarios() []string { return fault.Scenarios() }
+
 // Result is the outcome of a run (alias of the engine's result type).
 type Result = sim.Result
 
@@ -267,8 +306,13 @@ type Result = sim.Result
 // is ~156 ms of virtual time, so this is a generous safety limit.
 const MaxIntervals = 4096
 
-// Run executes a workload under a solution and returns the summary.
+// Run executes a workload under a solution and returns the summary. A
+// non-nil Result may accompany a non-nil error (e.g. ErrOutOfMemory): it
+// covers the partial run up to the failure.
 func Run(c Config, workloadName, solutionName string) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
 	c = c.withDefaults()
 	w, err := NewWorkload(workloadName, c)
 	if err != nil {
@@ -278,12 +322,14 @@ func Run(c Config, workloadName, solutionName string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := NewEngine(c)
-	return sim.Run(e, w, s, MaxIntervals), nil
+	return sim.Run(NewEngine(c), w, s, MaxIntervals)
 }
 
-// RunWith executes a caller-built workload and solution on a fresh engine.
-func RunWith(c Config, w sim.Workload, s sim.Solution) *Result {
-	e := NewEngine(c.withDefaults())
-	return sim.Run(e, w, s, MaxIntervals)
+// RunWith executes a caller-built workload and solution on a fresh
+// engine. Like Run, a partial Result may accompany an error.
+func RunWith(c Config, w sim.Workload, s sim.Solution) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return sim.Run(NewEngine(c.withDefaults()), w, s, MaxIntervals)
 }

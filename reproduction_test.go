@@ -76,7 +76,10 @@ func TestClaimTwoTierCrossover(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res := RunWith(cfg, workload.NewGUPSSized(table, ops), s)
+		res, err := RunWith(cfg, workload.NewGUPSSized(table, ops), s)
+		if err != nil {
+			t.Fatal(err)
+		}
 		return float64(ops) / res.ExecTime.Seconds()
 	}
 	for _, ratio := range []float64{0.75, 1.25} {
