@@ -1,0 +1,209 @@
+// Command benchjson turns `go test -bench` text output into a JSON
+// summary and gates CI on benchmark regressions.
+//
+// Parse mode (default) reads benchmark output on stdin (or -in) and
+// writes a summary:
+//
+//	go test -bench Interval -benchtime=1x -count=3 | benchjson -out BENCH_ci.json
+//
+// Each benchmark keeps the MINIMUM ns/op across its -count repetitions —
+// the least-noisy estimate of the true cost. The summary also derives
+// IntervalRatio = ns/op(BenchmarkIntervalParallel) /
+// ns/op(BenchmarkIntervalSequential): the two benchmarks run the same
+// profiling interval, so their ratio measures the sharded hot path's
+// speedup while cancelling the absolute speed of the machine. Gating on
+// the ratio keeps the check meaningful across differently-fast CI
+// runners, where raw ns/op thresholds would misfire.
+//
+// Compare mode gates a current summary against a checked-in baseline:
+//
+//	benchjson -current BENCH_ci.json -baseline BENCH_baseline.json -threshold 0.20
+//
+// The gate fails (exit 1) when the current IntervalRatio exceeds the
+// baseline's by more than -threshold (relative), i.e. when parallel
+// interval throughput regressed relative to sequential. -max-ratio adds
+// an absolute ceiling on the ratio (0 disables it); use it on runners
+// with a known core count to demand a minimum speedup, e.g.
+// -max-ratio 0.5 insists on >= 2x.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Summary is the checked-in benchmark baseline / CI artifact layout.
+type Summary struct {
+	// Benchmarks maps the benchmark name (GOMAXPROCS suffix stripped) to
+	// its minimum ns/op across repetitions.
+	Benchmarks map[string]Entry `json:"benchmarks"`
+	// IntervalRatio is parallel/sequential interval ns/op; 0 when either
+	// benchmark is missing.
+	IntervalRatio float64 `json:"interval_ratio,omitempty"`
+}
+
+// Entry is one benchmark's summary.
+type Entry struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	Runs    int     `json:"runs"`
+}
+
+const (
+	seqBench = "BenchmarkIntervalSequential"
+	parBench = "BenchmarkIntervalParallel"
+)
+
+// benchLine matches one `go test -bench` result line, e.g.
+// "BenchmarkIntervalParallel-4   3   311262 ns/op". The -N suffix is
+// go's GOMAXPROCS tag, not part of the benchmark's identity.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
+
+func parse(r io.Reader) (*Summary, error) {
+	s := &Summary{Benchmarks: map[string]Entry{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad ns/op in %q: %v", sc.Text(), err)
+		}
+		e := s.Benchmarks[m[1]]
+		if e.Runs == 0 || ns < e.NsPerOp {
+			e.NsPerOp = ns
+		}
+		e.Runs++
+		s.Benchmarks[m[1]] = e
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(s.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchjson: no benchmark lines found in input")
+	}
+	seq, okSeq := s.Benchmarks[seqBench]
+	par, okPar := s.Benchmarks[parBench]
+	if okSeq && okPar && seq.NsPerOp > 0 {
+		s.IntervalRatio = par.NsPerOp / seq.NsPerOp
+	}
+	return s, nil
+}
+
+func load(path string) (*Summary, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Summary
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("benchjson: %s: %v", path, err)
+	}
+	return &s, nil
+}
+
+func write(path string, s *Summary) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if path == "" || path == "-" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+func compare(cur, base *Summary, threshold, maxRatio float64) error {
+	if cur.IntervalRatio == 0 {
+		return fmt.Errorf("current summary lacks %s/%s; cannot gate", parBench, seqBench)
+	}
+	if base.IntervalRatio == 0 {
+		return fmt.Errorf("baseline lacks an interval ratio; regenerate it with `go test -bench Interval ... | benchjson -out BENCH_baseline.json`")
+	}
+	limit := base.IntervalRatio * (1 + threshold)
+	fmt.Printf("interval ratio (parallel/sequential ns/op): current=%.4f baseline=%.4f limit=%.4f\n",
+		cur.IntervalRatio, base.IntervalRatio, limit)
+	names := make([]string, 0, len(cur.Benchmarks))
+	for n := range cur.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if b, ok := base.Benchmarks[n]; ok {
+			fmt.Printf("  %-40s current=%12.0f ns/op baseline=%12.0f ns/op (%+.1f%%)\n",
+				n, cur.Benchmarks[n].NsPerOp, b.NsPerOp, 100*(cur.Benchmarks[n].NsPerOp/b.NsPerOp-1))
+		}
+	}
+	if cur.IntervalRatio > limit {
+		return fmt.Errorf("interval throughput regression: parallel/sequential ratio %.4f exceeds baseline %.4f by more than %.0f%%",
+			cur.IntervalRatio, base.IntervalRatio, 100*threshold)
+	}
+	if maxRatio > 0 && cur.IntervalRatio > maxRatio {
+		return fmt.Errorf("interval ratio %.4f exceeds the absolute ceiling %.2f (insufficient parallel speedup)", cur.IntervalRatio, maxRatio)
+	}
+	return nil
+}
+
+func main() {
+	var (
+		in        = flag.String("in", "", "benchmark text to parse (default stdin)")
+		out       = flag.String("out", "-", "where to write the JSON summary")
+		current   = flag.String("current", "", "compare mode: current summary JSON")
+		baseline  = flag.String("baseline", "", "compare mode: baseline summary JSON")
+		threshold = flag.Float64("threshold", 0.20, "allowed relative interval-ratio regression")
+		maxRatio  = flag.Float64("max-ratio", 0, "absolute interval-ratio ceiling (0 = disabled)")
+	)
+	flag.Parse()
+
+	if (*current == "") != (*baseline == "") {
+		fmt.Fprintln(os.Stderr, "benchjson: -current and -baseline must be given together")
+		os.Exit(2)
+	}
+	if *current != "" {
+		cur, err := load(*current)
+		if err == nil {
+			var base *Summary
+			base, err = load(*baseline)
+			if err == nil {
+				err = compare(cur, base, *threshold, *maxRatio)
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Println("benchmark gate passed")
+		return
+	}
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+	s, err := parse(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := write(*out, s); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: mtm
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkIntervalSequential 	       1	   5339979 ns/op
+BenchmarkIntervalSequential 	       1	   5100000 ns/op
+BenchmarkIntervalSequential 	       1	   5200000 ns/op
+BenchmarkIntervalParallel-4   	       1	   1500000 ns/op
+BenchmarkIntervalParallel-4   	       1	   1700000 ns/op
+BenchmarkGUPSInterval         	       2	    900000 ns/op
+PASS
+ok  	mtm	0.077s
+`
+
+func TestParseKeepsMinAndStripsSuffix(t *testing.T) {
+	s, err := parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := s.Benchmarks["BenchmarkIntervalSequential"]
+	if seq.NsPerOp != 5100000 || seq.Runs != 3 {
+		t.Fatalf("sequential entry %+v, want min 5100000 over 3 runs", seq)
+	}
+	par, ok := s.Benchmarks["BenchmarkIntervalParallel"]
+	if !ok {
+		t.Fatal("GOMAXPROCS suffix not stripped")
+	}
+	if par.NsPerOp != 1500000 || par.Runs != 2 {
+		t.Fatalf("parallel entry %+v", par)
+	}
+	want := 1500000.0 / 5100000.0
+	if math.Abs(s.IntervalRatio-want) > 1e-9 {
+		t.Fatalf("interval ratio %f, want %f", s.IntervalRatio, want)
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok mtm 0.1s\n")); err == nil {
+		t.Fatal("no-benchmark input accepted")
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	base := &Summary{IntervalRatio: 0.50}
+	ok := &Summary{IntervalRatio: 0.55, Benchmarks: map[string]Entry{}}
+	if err := compare(ok, base, 0.20, 0); err != nil {
+		t.Fatalf("10%% drift rejected: %v", err)
+	}
+	bad := &Summary{IntervalRatio: 0.65, Benchmarks: map[string]Entry{}}
+	if err := compare(bad, base, 0.20, 0); err == nil {
+		t.Fatal("30% regression passed the gate")
+	}
+	// Absolute ceiling: insist on a minimum speedup regardless of drift.
+	if err := compare(ok, base, 0.20, 0.5); err == nil {
+		t.Fatal("ratio above -max-ratio passed")
+	}
+	if err := compare(&Summary{}, base, 0.20, 0); err == nil {
+		t.Fatal("summary without interval benchmarks passed")
+	}
+}

@@ -7,10 +7,17 @@
 //	mtmsim -workload gups -solution mtm
 //	mtmsim -workload voltdb -solution tiered-autonuma -scale 64 -ops 1
 //	mtmsim -workload gups -solution mtm -faults ebusy-storm
+//	mtmsim -workload gups -solution mtm -parallel 4 -json
 //	mtmsim -list
+//
+// -parallel sets the worker count for the sharded profiling/migration
+// phases (0 = GOMAXPROCS, 1 = sequential); results are bit-identical at
+// every setting. -json emits the Result as JSON on stdout, which is what
+// the CI determinism gate diffs across parallelism levels.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,15 +27,17 @@ import (
 
 func main() {
 	var (
-		wl     = flag.String("workload", "gups", "workload name")
-		sol    = flag.String("solution", "mtm", "solution name")
-		scale  = flag.Int64("scale", 256, "machine scale divisor")
-		ops    = flag.Float64("ops", 0.5, "workload length factor")
-		seed   = flag.Int64("seed", 1, "simulation seed")
-		two    = flag.Bool("two-tier", false, "use the single-socket DRAM+PM machine")
-		cxl    = flag.Bool("cxl", false, "use the DRAM + direct-CXL + switched-CXL machine")
-		faults = flag.String("faults", "none", "fault-injection scenario")
-		list   = flag.Bool("list", false, "list workloads, solutions and fault scenarios")
+		wl       = flag.String("workload", "gups", "workload name")
+		sol      = flag.String("solution", "mtm", "solution name")
+		scale    = flag.Int64("scale", 256, "machine scale divisor")
+		ops      = flag.Float64("ops", 0.5, "workload length factor")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		two      = flag.Bool("two-tier", false, "use the single-socket DRAM+PM machine")
+		cxl      = flag.Bool("cxl", false, "use the DRAM + direct-CXL + switched-CXL machine")
+		faults   = flag.String("faults", "none", "fault-injection scenario")
+		parallel = flag.Int("parallel", 0, "worker count for sharded phases (0 = GOMAXPROCS)")
+		jsonOut  = flag.Bool("json", false, "emit the result as JSON instead of the text report")
+		list     = flag.Bool("list", false, "list workloads, solutions and fault scenarios")
 	)
 	flag.Parse()
 
@@ -46,6 +55,7 @@ func main() {
 	cfg.TwoTier = *two
 	cfg.CXL = *cxl
 	cfg.Faults = *faults
+	cfg.Parallelism = *parallel
 
 	res, err := mtm.Run(cfg, *wl, *sol)
 	if err != nil && res == nil {
@@ -58,6 +68,16 @@ func main() {
 	}
 	if res.Truncated {
 		fmt.Fprintf(os.Stderr, "warning: run truncated after %d intervals without completing; results cover a partial run\n", res.Intervals)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	fmt.Printf("workload:   %s\n", res.Workload)

@@ -196,6 +196,52 @@ func dominantSrc(srcBytes []int64) tier.NodeID {
 	return best
 }
 
+// migrateShardPages is the page count of one span-prescan shard. Fixed
+// (never derived from worker count) so the shard layout — and therefore
+// the merged candidate list — is independent of the Parallelism setting.
+const migrateShardPages = 1 << 12
+
+// spanCandidates walks [start, end) and returns the indices of pages that
+// are present and not already on dst, in address order, together with the
+// span's write-counter sum (the Adaptive mechanism's write-rate input).
+// The walk is read-only (Present/Node/WriteCount) and sharded across the
+// engine's pool; per-shard results merge in shard order, so the candidate
+// list is identical at any Parallelism. The transactional rebind loop
+// that consumes the list stays sequential — only this O(span) accounting
+// pass fans out.
+func spanCandidates(e *sim.Engine, v *vm.VMA, start, end int, dst tier.NodeID) ([]int, uint32) {
+	n := end - start
+	if n <= 0 {
+		return nil, 0
+	}
+	nShards := sim.NumShards(n, migrateShardPages)
+	type part struct {
+		cand   []int
+		writes uint32
+	}
+	parts := make([]part, nShards)
+	e.Parallel(nShards, func(s int) {
+		lo, hi := sim.ShardSpan(n, migrateShardPages, s)
+		p := &parts[s]
+		for i := start + lo; i < start+hi; i++ {
+			p.writes += v.WriteCount(i)
+			if v.Present(i) && v.Node(i) != dst {
+				p.cand = append(p.cand, i)
+			}
+		}
+	})
+	if nShards == 1 {
+		return parts[0].cand, parts[0].writes
+	}
+	var cand []int
+	var writes uint32
+	for _, p := range parts {
+		cand = append(cand, p.cand...)
+		writes += p.writes
+	}
+	return cand, writes
+}
+
 // rebindResult is the outcome of the transactional rebind loop.
 type rebindResult struct {
 	moved      int
@@ -207,25 +253,24 @@ type rebindResult struct {
 	wasteBytes int64         // bytes copied then thrown away by aborts
 }
 
-// rebind moves pages one by one until dst runs out of space or maxPages
-// pages have moved (maxPages <= 0 means no cap), recording bandwidth
-// demand on both nodes. Each page move is a transaction (Nomad-style
-// copy-then-commit): MoveBegin reserves the destination frame, the copy
-// is attempted under the retry policy, and the move either commits or
-// aborts with the tier accounting rolled back. A page that exhausts its
-// retry budget is skipped, not fatal — later pages still move. Aborted
-// pages count against the maxPages cap: the cap models a per-call work
-// budget, and failed attempts consume it like the kernel's nr_pages do.
-func rebind(e *sim.Engine, v *vm.VMA, start, end int, dst tier.NodeID, maxPages int, rp RetryPolicy) rebindResult {
+// rebind moves the candidate pages one by one until dst runs out of space
+// or maxPages pages have moved (maxPages <= 0 means no cap), recording
+// bandwidth demand on both nodes. Each page move is a transaction
+// (Nomad-style copy-then-commit): MoveBegin reserves the destination
+// frame, the copy is attempted under the retry policy, and the move
+// either commits or aborts with the tier accounting rolled back. A page
+// that exhausts its retry budget is skipped, not fatal — later pages
+// still move. Aborted pages count against the maxPages cap: the cap
+// models a per-call work budget, and failed attempts consume it like the
+// kernel's nr_pages do. Must run outside Engine.Parallel: it drives the
+// engine's serialized move accounting.
+func rebind(e *sim.Engine, v *vm.VMA, cand []int, dst tier.NodeID, maxPages int, rp RetryPolicy) rebindResult {
 	rp = rp.norm()
 	res := rebindResult{srcBytes: make([]int64, len(e.Sys.Topo.Nodes))}
 	attempted := 0
-	for i := start; i < end; i++ {
+	for _, i := range cand {
 		if maxPages > 0 && attempted >= maxPages {
 			break
-		}
-		if !v.Present(i) || v.Node(i) == dst {
-			continue
 		}
 		src := v.Node(i)
 		if !e.MoveBegin(v, i, dst) {
@@ -290,7 +335,8 @@ type MovePages struct {
 func (MovePages) Name() string { return "move_pages" }
 
 func (m MovePages) Migrate(e *sim.Engine, v *vm.VMA, start, end int, dst tier.NodeID, maxPages int) Report {
-	rb := rebind(e, v, start, end, dst, maxPages, m.Retry)
+	cand, _ := spanCandidates(e, v, start, end, dst)
+	rb := rebind(e, v, cand, dst, maxPages, m.Retry)
 	var rep Report
 	waste := rb.robustness(&rep)
 	if rb.moved == 0 {
@@ -329,7 +375,8 @@ type Nimble struct {
 func (Nimble) Name() string { return "nimble" }
 
 func (m Nimble) Migrate(e *sim.Engine, v *vm.VMA, start, end int, dst tier.NodeID, maxPages int) Report {
-	rb := rebind(e, v, start, end, dst, maxPages, m.Retry)
+	cand, _ := spanCandidates(e, v, start, end, dst)
+	rb := rebind(e, v, cand, dst, maxPages, m.Retry)
 	var rep Report
 	waste := rb.robustness(&rep)
 	if rb.moved == 0 {
@@ -386,14 +433,11 @@ func (a *Adaptive) Name() string {
 }
 
 func (a *Adaptive) Migrate(e *sim.Engine, v *vm.VMA, start, end int, dst tier.NodeID, maxPages int) Report {
-	// Estimate the region's write rate BEFORE rebinding (counters are
-	// per-interval; rebinding doesn't change them, but order keeps the
-	// estimate tied to the pages actually moved).
-	var writes uint32
-	for i := start; i < end; i++ {
-		writes += v.WriteCount(i)
-	}
-	rb := rebind(e, v, start, end, dst, maxPages, a.Retry)
+	// The prescan estimates the region's write rate BEFORE rebinding
+	// (counters are per-interval; rebinding doesn't change them, but
+	// order keeps the estimate tied to the pages actually moved).
+	cand, writes := spanCandidates(e, v, start, end, dst)
+	rb := rebind(e, v, cand, dst, maxPages, a.Retry)
 	var rep Report
 	waste := rb.robustness(&rep)
 	if rb.moved == 0 {

@@ -140,7 +140,23 @@ func (m *MTM) Regions() []*region.Region {
 	return m.set.Regions()
 }
 
-// Profile implements the §5 pipeline for one interval.
+// Shard sizes of the parallel profiling phases. Both are fixed constants
+// (never derived from the worker count) so the shard layout — and with it
+// every per-shard RNG stream — is identical at any Parallelism setting.
+const (
+	// scanShardRegions is how many consecutive regions one PTE-scan shard
+	// owns.
+	scanShardRegions = 16
+	// pebsShardSamples is how many consecutive PEBS samples one
+	// attribution shard resolves.
+	pebsShardSamples = 1024
+)
+
+// Profile implements the §5 pipeline for one interval. The two expensive
+// passes — PEBS sample attribution and the per-region PTE scans — run
+// sharded on the engine's worker pool; their results are merged in shard
+// order, and all engine accounting happens on the serialised path, so the
+// outcome is bit-identical to a sequential run (see sim/parallel.go).
 func (m *MTM) Profile(e *sim.Engine) {
 	m.set.BeginInterval()
 	regions := m.set.Regions()
@@ -149,7 +165,11 @@ func (m *MTM) Profile(e *sim.Engine) {
 	// traffic get event-driven PTE-scan profiling (§5.5). The sampled
 	// pages themselves are kept: §5.2 profiles "specifically the page
 	// captured by the performance counters", which is what points the
-	// PTE scans at the hot spots inside a large region.
+	// PTE scans at the hot spots inside a large region. Shards resolve
+	// their sample slice against the region table (read-only binary
+	// searches) into private slots; the merge below replays the resolved
+	// pairs in sample order, so the kept-pages rule (first four distinct
+	// pages per region) matches the sequential walk exactly.
 	var pebsHits map[*region.Region]int
 	var pebsPages map[*region.Region][]int
 	if m.buf != nil {
@@ -157,11 +177,24 @@ func (m *MTM) Profile(e *sim.Engine) {
 		pebsHits = make(map[*region.Region]int)
 		pebsPages = make(map[*region.Region][]int)
 		samples := m.buf.Samples()
-		for _, s := range samples {
-			if r := findRegion(regions, s.VMA, s.Page); r != nil {
+		type attributed struct{ region, page int }
+		shards := m.buf.Partition(pebsShardSamples)
+		parts := make([][]attributed, len(shards))
+		e.Parallel(len(shards), func(s int) {
+			out := make([]attributed, 0, len(shards[s]))
+			for _, smp := range shards[s] {
+				if ri := findRegionIndex(regions, smp.VMA, smp.Page); ri >= 0 {
+					out = append(out, attributed{ri, smp.Page})
+				}
+			}
+			parts[s] = out
+		})
+		for _, part := range parts {
+			for _, a := range part {
+				r := regions[a.region]
 				pebsHits[r]++
-				if pp := pebsPages[r]; len(pp) < 4 && !containsInt(pp, s.Page) {
-					pebsPages[r] = append(pp, s.Page)
+				if pp := pebsPages[r]; len(pp) < 4 && !containsInt(pp, a.page) {
+					pebsPages[r] = append(pp, a.page)
 				}
 			}
 		}
@@ -174,50 +207,65 @@ func (m *MTM) Profile(e *sim.Engine) {
 	profiled := m.profiledSet(regions, pebsHits)
 	m.enforceQuota(e, regions, profiled)
 
-	// Scan.
-	var totalScans int64
-	for _, r := range regions {
-		if !profiled[r] {
-			// Event-driven: no PEBS event means no observed traffic;
-			// the region is cold this interval without spending scans.
-			r.PrevHI = r.HI
-			r.HI = 0
-			r.Samples = r.Samples[:0]
-			r.Observed = r.Observed[:0]
-			r.Sampled = true
-			continue
-		}
-		n := r.Quota
-		if n < 1 {
-			n = 1
-		}
-		var pages []int
-		if pp := pebsPages[r]; len(pp) > 0 {
-			// PEBS-captured pages first (§5.2), random samples for the
-			// remaining quota.
-			pages = append(pages, pp...)
-			if n > len(pages) {
-				pages = append(pages, samplePages(e, r.Start, r.End, n-len(pages))...)
+	// Scan. Each shard owns a fixed run of regions: it draws sample pages
+	// and scan observations from its own ShardRand stream and writes only
+	// the per-region fields of regions it owns (plus its private scan
+	// tally). pebsPages/profiled are read-only here; VMA state is only
+	// read (ObserveScans models the scan, it does not clear bits).
+	nShards := sim.NumShards(len(regions), scanShardRegions)
+	shardScans := make([]int64, nShards)
+	e.Parallel(nShards, func(s int) {
+		rng := e.ShardRand(sim.SaltPTEScan, s)
+		lo, hi := sim.ShardSpan(len(regions), scanShardRegions, s)
+		var scans int64
+		for _, r := range regions[lo:hi] {
+			if !profiled[r] {
+				// Event-driven: no PEBS event means no observed traffic;
+				// the region is cold this interval without spending scans.
+				r.PrevHI = r.HI
+				r.HI = 0
+				r.Samples = r.Samples[:0]
+				r.Observed = r.Observed[:0]
+				r.Sampled = true
+				continue
 			}
-		} else {
-			pages = samplePages(e, r.Start, r.End, n)
+			n := r.Quota
+			if n < 1 {
+				n = 1
+			}
+			var pages []int
+			if pp := pebsPages[r]; len(pp) > 0 {
+				// PEBS-captured pages first (§5.2), random samples for the
+				// remaining quota.
+				pages = append(pages, pp...)
+				if n > len(pages) {
+					pages = append(pages, samplePages(rng, r.Start, r.End, n-len(pages))...)
+				}
+			} else {
+				pages = samplePages(rng, r.Start, r.End, n)
+			}
+			r.Samples = pages
+			r.Observed = r.Observed[:0]
+			sum := 0
+			for _, p := range pages {
+				obs := vm.ObserveScans(r.V, p, m.Cfg.NumScans, m.Cfg.ScanWindowFrac, rng)
+				r.Observed = append(r.Observed, obs)
+				sum += obs
+			}
+			scans += int64(len(pages) * m.Cfg.NumScans)
+			r.PrevHI = r.HI
+			if len(pages) > 0 {
+				r.HI = float64(sum) / float64(len(pages))
+			} else {
+				r.HI = 0
+			}
+			r.Sampled = true
 		}
-		r.Samples = pages
-		r.Observed = r.Observed[:0]
-		sum := 0
-		for _, p := range pages {
-			obs := vm.ObserveScans(r.V, p, m.Cfg.NumScans, m.Cfg.ScanWindowFrac, e.Rng)
-			r.Observed = append(r.Observed, obs)
-			sum += obs
-		}
-		totalScans += int64(len(pages) * m.Cfg.NumScans)
-		r.PrevHI = r.HI
-		if len(pages) > 0 {
-			r.HI = float64(sum) / float64(len(pages))
-		} else {
-			r.HI = 0
-		}
-		r.Sampled = true
+		shardScans[s] = scans
+	})
+	var totalScans int64
+	for _, s := range shardScans {
+		totalScans += s
 	}
 	m.scans += totalScans
 	e.ChargeProfiling(time.Duration(totalScans) * MTMScanCost)
@@ -402,9 +450,10 @@ func containsInt(xs []int, x int) bool {
 	return false
 }
 
-// findRegion locates the region containing page idx of v via binary search
-// over the address-ordered region slice.
-func findRegion(regions []*region.Region, v *vm.VMA, idx int) *region.Region {
+// findRegionIndex locates the region containing page idx of v via binary
+// search over the address-ordered region slice, returning -1 if none. It
+// is read-only and safe to call concurrently from attribution shards.
+func findRegionIndex(regions []*region.Region, v *vm.VMA, idx int) int {
 	addr := v.Addr(idx)
 	lo, hi := 0, len(regions)
 	for lo < hi {
@@ -418,10 +467,10 @@ func findRegion(regions []*region.Region, v *vm.VMA, idx int) *region.Region {
 		case addr >= rEnd:
 			lo = mid + 1
 		default:
-			return r
+			return mid
 		}
 	}
-	return nil
+	return -1
 }
 
 // MemoryOverheadBytes estimates MTM's metadata footprint (Table 5): per

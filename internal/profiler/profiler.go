@@ -11,6 +11,7 @@
 package profiler
 
 import (
+	"math/rand"
 	"time"
 
 	"mtm/internal/region"
@@ -120,8 +121,10 @@ func initRegions(e *sim.Engine, set *region.Set, regionBytes int64) {
 
 // samplePages picks n distinct page indices in [start, end) uniformly at
 // random (with a fallback to stride sampling when n approaches the range
-// size). The engine RNG keeps runs deterministic.
-func samplePages(e *sim.Engine, start, end, n int) []int {
+// size). The caller supplies the RNG: sharded scan phases pass their
+// per-shard stream (Engine.ShardRand) so page selection stays
+// deterministic at any Parallelism.
+func samplePages(rng *rand.Rand, start, end, n int) []int {
 	span := end - start
 	if n >= span {
 		out := make([]int, span)
@@ -137,7 +140,7 @@ func samplePages(e *sim.Engine, start, end, n int) []int {
 	if n*4 >= span {
 		// Dense: stride with a random phase avoids rejection loops.
 		stride := span / n
-		phase := e.Rng.Intn(stride)
+		phase := rng.Intn(stride)
 		for i := 0; i < n; i++ {
 			out = append(out, start+phase+i*stride)
 		}
@@ -145,7 +148,7 @@ func samplePages(e *sim.Engine, start, end, n int) []int {
 	}
 	seen := make(map[int]struct{}, n)
 	for len(out) < n {
-		p := start + e.Rng.Intn(span)
+		p := start + rng.Intn(span)
 		if _, ok := seen[p]; ok {
 			continue
 		}

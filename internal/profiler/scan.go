@@ -53,34 +53,70 @@ func (p *RandomChunk) Regions() []*region.Region {
 	return p.set.Regions()
 }
 
+// chunkShardRegions is how many consecutive selected regions one
+// access-bit-harvest shard walks. Fixed so the shard layout (and each
+// shard's RNG stream) is independent of the Parallelism setting.
+const chunkShardRegions = 8
+
+// harvestRegions walks the selected regions' pages with ObserveScans,
+// sharded on the engine's pool: each shard owns a fixed run of the
+// selection, draws from its own ShardRand stream, writes only its own
+// regions' hotness fields, and tallies scans into a private slot. The
+// merged scan count is returned for the (serialised) profiling charge.
+// Every region must appear at most once in sel — two shards writing one
+// region would race.
+func harvestRegions(e *sim.Engine, sel []*region.Region, round, scansPerPage int, windowFrac, alpha float64, numScans int) int64 {
+	nShards := sim.NumShards(len(sel), chunkShardRegions)
+	shardScans := make([]int64, nShards)
+	e.Parallel(nShards, func(s int) {
+		// Later selection rounds within one interval re-walk the same
+		// regions; giving each round a disjoint block of shard indices
+		// keeps their observation draws on distinct streams.
+		rng := e.ShardRand(sim.SaltChunkScan, round<<20|s)
+		lo, hi := sim.ShardSpan(len(sel), chunkShardRegions, s)
+		var scans int64
+		for _, r := range sel[lo:hi] {
+			sum, ns := 0, 0
+			for pg := r.Start; pg < r.End; pg++ {
+				sum += vm.ObserveScans(r.V, pg, scansPerPage, windowFrac, rng)
+				ns++
+			}
+			scans += int64(ns)
+			r.PrevHI = r.HI
+			if ns > 0 {
+				// Scale into scan units so thresholds and histograms are
+				// comparable across profilers.
+				r.HI = float64(sum) / float64(ns) * float64(numScans) / float64(scansPerPage)
+			}
+			r.Sampled = true
+			r.UpdateEMA(alpha)
+		}
+		shardScans[s] = scans
+	})
+	var total int64
+	for _, s := range shardScans {
+		total += s
+	}
+	return total
+}
+
 func (p *RandomChunk) Profile(e *sim.Engine) {
 	p.set.BeginInterval()
 	regions := p.set.Regions()
 	if len(regions) == 0 {
 		return
 	}
-	// Pick a random contiguous run of regions covering ~ChunkBytes.
+	// Pick a random contiguous run of regions covering ~ChunkBytes; the
+	// selection (the only draw from the engine's own stream) is cheap and
+	// stays sequential, the page walk is sharded.
 	start := e.Rng.Intn(len(regions))
 	var covered int64
-	var scans int64
-	for i := start; i < len(regions) && covered < ChunkBytes; i++ {
-		r := regions[i]
-		covered += r.Bytes()
-		sum, ns := 0, 0
-		for pg := r.Start; pg < r.End; pg++ {
-			sum += vm.ObserveScans(r.V, pg, 1, 1.0, e.Rng)
-			ns++
-		}
-		scans += int64(ns)
-		r.PrevHI = r.HI
-		if ns > 0 {
-			// Scale the fraction-of-pages-accessed into scan units so
-			// thresholds and histograms are comparable across profilers.
-			r.HI = float64(sum) / float64(ns) * float64(p.set.NumScans)
-		}
-		r.Sampled = true
-		r.UpdateEMA(p.Alpha)
+	end := start
+	for end < len(regions) && covered < ChunkBytes {
+		covered += regions[end].Bytes()
+		end++
 	}
+	scans := harvestRegions(e, regions[start:end], 0, 1, 1.0, p.Alpha, p.set.NumScans)
 	p.scans += scans
 	// Present-bit profiling takes a fault per observed page on top of
 	// the PTE write; charge scan + fault cost per page.
@@ -152,22 +188,22 @@ func (p *SequentialScan) Profile(e *sim.Engine) {
 		// "accessed often" better than a single present-bit check.
 		scansPerPage = 2
 	}
-	for covered < ChunkBytes {
-		r := regions[p.cursor%len(regions)]
-		p.cursor++
-		covered += r.Bytes()
-		sum, ns := 0, 0
-		for pg := r.Start; pg < r.End; pg++ {
-			sum += vm.ObserveScans(r.V, pg, scansPerPage, scanWindow, e.Rng)
-			ns++
+	// Advance the cursor in rounds: each round is a run of regions that
+	// cannot repeat (it stops at the address-space wrap), so every round
+	// is a duplicate-free selection safe to hand to the sharded harvest.
+	// A small space scanned with a large budget simply takes more rounds,
+	// re-walking regions exactly as the sequential cursor loop did.
+	for round := 0; covered < ChunkBytes; round++ {
+		pos := p.cursor % len(regions)
+		sel := regions[pos:]
+		var take int
+		for take < len(sel) && covered < ChunkBytes {
+			covered += sel[take].Bytes()
+			take++
 		}
-		faults += int64(ns)
-		r.PrevHI = r.HI
-		if ns > 0 {
-			r.HI = float64(sum) / float64(ns) * float64(p.set.NumScans) / float64(scansPerPage)
-		}
-		r.Sampled = true
-		r.UpdateEMA(p.Alpha)
+		sel = sel[:take]
+		p.cursor += take
+		faults += harvestRegions(e, sel, round, scansPerPage, scanWindow, p.Alpha, p.set.NumScans)
 		if p.cursor >= 1<<30 {
 			p.cursor = p.cursor % len(regions)
 		}

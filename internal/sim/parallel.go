@@ -1,0 +1,177 @@
+// Worker pool for the profiling/migration hot path. The engine's interval
+// loop is single-threaded by design (virtual-time accounting must be
+// serialised), but the expensive inner passes — region-table PTE scans,
+// PEBS sample attribution, migration span accounting — are data-parallel
+// over disjoint shards of the address space. This file provides the pool
+// and the determinism contract those passes rely on:
+//
+//   - Work is cut into shards by a FIXED rule (fixed shard size, never
+//     "divide by worker count"), so the shard layout is identical at any
+//     Parallelism setting.
+//   - A shard function only writes shard-local state (per-shard scratch
+//     slots, per-region fields of regions the shard owns). Engine-global
+//     accounting is mutated only between Parallel calls; the guarded
+//     methods in robustness.go panic if a shard breaks this rule.
+//   - Randomness inside a shard comes from Engine.ShardRand, a stream
+//     derived from (engine seed, interval, salt, shard) — a pure function
+//     of the simulation state, not of scheduling.
+//
+// Together these make runs bit-identical at Parallelism 1 and N: the
+// shards compute the same values in any order, and the caller merges
+// per-shard results in shard order.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool runs shard functions across a bounded set of goroutines.
+type Pool struct {
+	workers int
+}
+
+// NewPool creates a pool with the given worker count; workers <= 0 selects
+// GOMAXPROCS. A 1-worker pool runs everything inline on the caller's
+// goroutine (the sequential engine).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the pool's worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run invokes fn(shard) for every shard in [0, n), distributing shards
+// across the pool's workers and returning when all have completed. fn must
+// confine its writes to shard-local state. A panic in any shard is
+// re-raised on the caller's goroutine after the remaining workers drain.
+func (p *Pool) Run(n int, fn func(shard int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		panicked atomic.Value
+		wg       sync.WaitGroup
+	)
+	work := func() {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				panicked.CompareAndSwap(nil, fmt.Sprintf("%v", r))
+			}
+		}()
+		for {
+			s := int(next.Add(1)) - 1
+			if s >= n {
+				return
+			}
+			fn(s)
+		}
+	}
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go work()
+	}
+	wg.Wait()
+	if r := panicked.Load(); r != nil {
+		panic(r)
+	}
+}
+
+// NumShards returns how many fixed-size shards cover n items.
+func NumShards(n, shardSize int) int {
+	if n <= 0 {
+		return 0
+	}
+	if shardSize <= 0 {
+		shardSize = 1
+	}
+	return (n + shardSize - 1) / shardSize
+}
+
+// ShardSpan returns the half-open item range [lo, hi) covered by shard s
+// when n items are cut into fixed-size shards.
+func ShardSpan(n, shardSize, s int) (lo, hi int) {
+	if shardSize <= 0 {
+		shardSize = 1
+	}
+	lo = s * shardSize
+	hi = lo + shardSize
+	if hi > n {
+		hi = n
+	}
+	if lo > n {
+		lo = n
+	}
+	return lo, hi
+}
+
+// Parallel runs fn over n shards on the engine's pool, flagging the engine
+// as inside a parallel section so the guarded accounting methods can
+// detect (and panic on) unconfined shard writes. The flag is set even at
+// Parallelism 1, so a confinement bug surfaces deterministically in
+// sequential runs and plain `go test`, not only under -race.
+func (e *Engine) Parallel(n int, fn func(shard int)) {
+	if e.Par == nil {
+		e.Par = NewPool(1)
+	}
+	e.inParallel.Store(true)
+	defer e.inParallel.Store(false)
+	e.Par.Run(n, fn)
+}
+
+// assertOwned panics when a serialised engine method is called from inside
+// a Parallel section. Shard functions must accumulate into shard-local
+// scratch and let the caller merge and charge in shard order.
+func (e *Engine) assertOwned(method string) {
+	if e.inParallel.Load() {
+		panic("sim: Engine." + method + " called from inside Engine.Parallel; " +
+			"shard functions must confine writes to shard-local state")
+	}
+}
+
+// splitmix64 is the SplitMix64 finaliser; it turns structured inputs
+// (seed, interval, shard) into well-mixed RNG seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Salts distinguishing the RNG streams of the parallel phases within one
+// interval. Each call site that draws randomness inside Parallel uses its
+// own salt so adding a phase never perturbs another phase's stream.
+const (
+	SaltPTEScan   = 0x70746573 // "ptes": MTM profiler scan shards
+	SaltChunkScan = 0x63686e6b // "chnk": chunk-scan baseline profilers
+)
+
+// ShardRand returns the deterministic RNG stream of one shard of a
+// parallel phase. The stream is a pure function of the engine seed, the
+// interval index, the phase salt and the shard index — independent of the
+// Parallelism setting and of which worker executes the shard, which is
+// what keeps parallel runs bit-identical to sequential ones.
+func (e *Engine) ShardRand(salt uint64, shard int) *rand.Rand {
+	h := splitmix64(uint64(e.Seed) ^ salt)
+	h = splitmix64(h ^ uint64(uint32(e.Intervals)))
+	h = splitmix64(h ^ uint64(uint32(shard)))
+	return rand.New(rand.NewSource(int64(h)))
+}

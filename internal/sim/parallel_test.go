@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"mtm/internal/tier"
+)
+
+func TestPoolRunCoversAllShards(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 13} {
+		p := NewPool(workers)
+		for _, n := range []int{0, 1, 7, 64, 1001} {
+			hits := make([]int32, n)
+			p.Run(n, func(s int) { atomic.AddInt32(&hits[s], 1) })
+			for s, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: shard %d ran %d times", workers, n, s, h)
+				}
+			}
+		}
+	}
+}
+
+func TestNewPoolDefaultsToGOMAXPROCS(t *testing.T) {
+	if got, want := NewPool(0).Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("NewPool(0).Workers() = %d, want GOMAXPROCS %d", got, want)
+	}
+	if got := NewPool(-3).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("NewPool(-3).Workers() = %d, want GOMAXPROCS", got)
+	}
+	if got := NewPool(6).Workers(); got != 6 {
+		t.Fatalf("NewPool(6).Workers() = %d, want 6", got)
+	}
+}
+
+func TestPoolRunPropagatesPanic(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := NewPool(workers)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("workers=%d: shard panic not propagated", workers)
+				}
+			}()
+			p.Run(8, func(s int) {
+				if s == 5 {
+					panic("shard failure")
+				}
+			})
+		}()
+	}
+}
+
+func TestShardSpanPartitions(t *testing.T) {
+	for _, n := range []int{0, 1, 15, 16, 17, 1000} {
+		for _, size := range []int{1, 7, 16, 2000} {
+			ns := NumShards(n, size)
+			next := 0
+			for s := 0; s < ns; s++ {
+				lo, hi := ShardSpan(n, size, s)
+				if lo != next {
+					t.Fatalf("n=%d size=%d shard %d: lo=%d, want %d (gap or overlap)", n, size, s, lo, next)
+				}
+				if hi <= lo && n > 0 {
+					t.Fatalf("n=%d size=%d shard %d: empty span [%d,%d)", n, size, s, lo, hi)
+				}
+				next = hi
+			}
+			if next != n {
+				t.Fatalf("n=%d size=%d: shards cover [0,%d), want [0,%d)", n, size, next, n)
+			}
+		}
+	}
+}
+
+// TestShardRandStreams checks the two properties the sharded phases rely
+// on: the stream for a (salt, interval, shard) triple is reproducible,
+// and neighbouring triples get different streams.
+func TestShardRandStreams(t *testing.T) {
+	e := NewEngine(tier.OptaneTopology(256), 7)
+	a := e.ShardRand(SaltPTEScan, 3).Int63()
+	b := e.ShardRand(SaltPTEScan, 3).Int63()
+	if a != b {
+		t.Fatal("ShardRand not reproducible for identical (salt, interval, shard)")
+	}
+	if e.ShardRand(SaltPTEScan, 4).Int63() == a {
+		t.Fatal("adjacent shards share a stream")
+	}
+	if e.ShardRand(SaltChunkScan, 3).Int63() == a {
+		t.Fatal("different salts share a stream")
+	}
+	e.Intervals++
+	if e.ShardRand(SaltPTEScan, 3).Int63() == a {
+		t.Fatal("different intervals share a stream")
+	}
+}
+
+// TestAssertOwnedConfinement asserts the race-audit guard: serialized
+// accounting methods panic when called from inside a Parallel shard, and
+// the guard fires even at Parallelism 1 so confinement bugs surface in
+// fully sequential runs too.
+func TestAssertOwnedConfinement(t *testing.T) {
+	e := NewEngine(tier.OptaneTopology(256), 1)
+	e.Par = NewPool(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ChargeProfiling inside Parallel did not panic")
+		}
+	}()
+	e.Parallel(1, func(int) { e.ChargeProfiling(1) })
+}
+
+// TestParallelSharedTallies exercises the worker pool under -race: shards
+// write disjoint slots of a shared slice, the canonical merge pattern of
+// every sharded phase.
+func TestParallelSharedTallies(t *testing.T) {
+	e := NewEngine(tier.OptaneTopology(256), 1)
+	e.Par = NewPool(8)
+	const n = 256
+	sums := make([]int64, n)
+	e.Parallel(n, func(s int) {
+		rng := e.ShardRand(SaltPTEScan, s)
+		for i := 0; i < 100; i++ {
+			sums[s] += rng.Int63n(10)
+		}
+	})
+	var total int64
+	for _, v := range sums {
+		total += v
+	}
+	if total == 0 {
+		t.Fatal("shards produced no work")
+	}
+	// The merged total must match a fully sequential evaluation.
+	var want int64
+	for s := 0; s < n; s++ {
+		rng := e.ShardRand(SaltPTEScan, s)
+		for i := 0; i < 100; i++ {
+			want += rng.Int63n(10)
+		}
+	}
+	if total != want {
+		t.Fatalf("parallel tally %d != sequential tally %d", total, want)
+	}
+}

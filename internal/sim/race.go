@@ -1,0 +1,11 @@
+//go:build race
+
+package sim
+
+// RaceEnabled reports whether the binary was built with the race
+// detector. Heavyweight sweep tests (the full solution x workload
+// determinism matrix) trim themselves under -race: the detector's ~10x
+// slowdown adds nothing to a determinism check that a separate CI job
+// already runs at full size, while the race-relevant code paths are
+// still exercised by the trimmed subset.
+const RaceEnabled = true

@@ -85,23 +85,29 @@ func (e *Engine) PromotionPressure(dst tier.NodeID) bool {
 }
 
 // NoteDeferredPromotion records one promotion deferred by admission
-// control.
-func (e *Engine) NoteDeferredPromotion() { e.DeferredPromotions++ }
+// control. The robustness counters (DeferredPromotions, MigrationRetries,
+// MigrationAborts, WastedBytes, EmergencyDemotions) are engine-global and
+// unsynchronised by design; they may only be mutated from the serialised
+// interval loop, never from inside Engine.Parallel — the assertOwned
+// guards turn a violation into a deterministic panic.
+func (e *Engine) NoteDeferredPromotion() { e.assertOwned("NoteDeferredPromotion"); e.DeferredPromotions++ }
 
 // NoteMigrationRetry records one retried page-copy attempt.
-func (e *Engine) NoteMigrationRetry() { e.MigrationRetries++ }
+func (e *Engine) NoteMigrationRetry() { e.assertOwned("NoteMigrationRetry"); e.MigrationRetries++ }
 
 // MoveBegin opens a page-move transaction: room for the page is reserved
 // on dst while the page stays mapped on its source (copy-then-commit, the
 // Nomad transactional migration shape). It reports false, leaving all
 // state unchanged, when dst has no room.
 func (e *Engine) MoveBegin(v *vm.VMA, idx int, dst tier.NodeID) bool {
+	e.assertOwned("MoveBegin")
 	return e.Sys.Reserve(dst, v.PageSize)
 }
 
 // MoveCommit completes a transaction opened by MoveBegin: the source frame
 // is released and the page rebinds to dst.
 func (e *Engine) MoveCommit(v *vm.VMA, idx int, dst tier.NodeID) {
+	e.assertOwned("MoveCommit")
 	if src := v.Node(idx); src != vm.NoNode && src != dst {
 		e.Sys.Release(src, v.PageSize)
 	}
@@ -112,6 +118,7 @@ func (e *Engine) MoveCommit(v *vm.VMA, idx int, dst tier.NodeID) {
 // reservation is released, the page keeps its source frame, and the abort
 // plus its thrown-away copy bytes are recorded.
 func (e *Engine) MoveAborted(v *vm.VMA, idx int, dst tier.NodeID) {
+	e.assertOwned("MoveAborted")
 	e.Sys.Release(dst, v.PageSize)
 	e.MigrationAborts++
 	e.WastedBytes += v.PageSize
@@ -177,25 +184,55 @@ func (e *Engine) emergencyReclaim(socket int, need int64) tier.NodeID {
 	return tier.Invalid
 }
 
+// coldShardPages is the page-span size of one victim-collection shard.
+// Fixed (never derived from worker count) so the shard layout — and with
+// it the merged candidate order — is identical at any Parallelism.
+const coldShardPages = 1 << 15
+
 // demoteColdest pushes the coldest resident pages of node down to the
 // first lower-tier node with room until need bytes are freed. It reports
 // whether the full amount was freed; partial progress is kept (the
 // capacity accounting stays exact either way).
+//
+// The candidate walk touches every page of every VMA, the widest loop on
+// the emergency path, so it is sharded: each shard collects candidates
+// from its own page span into a private slot (reads only — Present, Node,
+// Count), and the merge concatenates slots in shard order, reproducing the
+// sequential (VMA, page) candidate order exactly. The demotions themselves
+// (MovePage, transfer accounting) stay on the serialised path below.
 func (e *Engine) demoteColdest(node tier.NodeID, lower []tier.NodeID, need int64) bool {
 	type cold struct {
 		v     *vm.VMA
 		idx   int
 		count uint32
 	}
-	var pages []cold
+	type span struct {
+		v      *vm.VMA
+		lo, hi int
+	}
+	var spans []span
 	for _, v := range e.AS.VMAs() {
-		for i := 0; i < v.NPages; i++ {
-			if v.Present(i) && v.Node(i) == node {
-				pages = append(pages, cold{v, i, v.Count(i)})
-			}
+		for s := 0; s < NumShards(v.NPages, coldShardPages); s++ {
+			lo, hi := ShardSpan(v.NPages, coldShardPages, s)
+			spans = append(spans, span{v, lo, hi})
 		}
 	}
-	// Coldest first; the slice is built in (VMA, page) order, so the
+	parts := make([][]cold, len(spans))
+	e.Parallel(len(spans), func(s int) {
+		sp := spans[s]
+		var out []cold
+		for i := sp.lo; i < sp.hi; i++ {
+			if sp.v.Present(i) && sp.v.Node(i) == node {
+				out = append(out, cold{sp.v, i, sp.v.Count(i)})
+			}
+		}
+		parts[s] = out
+	})
+	var pages []cold
+	for _, p := range parts {
+		pages = append(pages, p...)
+	}
+	// Coldest first; the merged slice is in (VMA, page) order, so the
 	// stable sort keeps victim selection deterministic.
 	sort.SliceStable(pages, func(a, b int) bool { return pages[a].count < pages[b].count })
 	var freed int64

@@ -77,6 +77,12 @@ type Config struct {
 	// FaultSeed seeds the injector's own random stream; 0 selects Seed+1
 	// so fault decisions never perturb the engine's randomness.
 	FaultSeed int64
+	// Parallelism is the worker count for the sharded profiling and
+	// migration phases; 0 selects GOMAXPROCS, 1 forces fully sequential
+	// execution. Results are bit-identical at every setting — sharding is
+	// fixed-size and every shard draws from its own seeded stream — so
+	// this is purely a wall-clock knob. Negative values are invalid.
+	Parallelism int
 }
 
 // DefaultScale mirrors workload.DefaultScale.
@@ -136,6 +142,9 @@ func (c Config) Validate() error {
 	if !fault.Valid(r.Faults) {
 		return fmt.Errorf("mtm: unknown fault scenario %q (have %v)", r.Faults, fault.Scenarios())
 	}
+	if r.Parallelism < 0 {
+		return fmt.Errorf("mtm: negative Parallelism %d (0 means GOMAXPROCS)", r.Parallelism)
+	}
 	return nil
 }
 
@@ -160,6 +169,7 @@ func NewEngine(c Config) *sim.Engine {
 	e.Threads = c.Threads
 	e.Interval = c.Interval
 	e.KeepLog = c.KeepLog
+	e.Par = sim.NewPool(c.Parallelism)
 	if inj, err := fault.NewScenario(c.Faults, c.FaultSeed); err == nil && inj != nil {
 		e.SetFaultPlane(inj)
 	}
