@@ -139,11 +139,26 @@ func compare(cur, base *Summary, threshold, maxRatio float64) error {
 		names = append(names, n)
 	}
 	sort.Strings(names)
+	// A stale or hand-edited baseline must fail the gate with a clear
+	// message, not divide by zero or silently skip the comparison.
+	var missing, zero []string
 	for _, n := range names {
-		if b, ok := base.Benchmarks[n]; ok {
+		b, ok := base.Benchmarks[n]
+		switch {
+		case !ok:
+			missing = append(missing, n)
+		case b.NsPerOp <= 0:
+			zero = append(zero, n)
+		default:
 			fmt.Printf("  %-40s current=%12.0f ns/op baseline=%12.0f ns/op (%+.1f%%)\n",
 				n, cur.Benchmarks[n].NsPerOp, b.NsPerOp, 100*(cur.Benchmarks[n].NsPerOp/b.NsPerOp-1))
 		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("baseline lacks benchmark(s) %v present in the current run; regenerate it with `go test -bench Interval ... | benchjson -out BENCH_baseline.json`", missing)
+	}
+	if len(zero) > 0 {
+		return fmt.Errorf("baseline has zero/missing ns/op for benchmark(s) %v; the baseline file is corrupt or hand-edited — regenerate it", zero)
 	}
 	if cur.IntervalRatio > limit {
 		return fmt.Errorf("interval throughput regression: parallel/sequential ratio %.4f exceeds baseline %.4f by more than %.0f%%",

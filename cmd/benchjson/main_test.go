@@ -66,3 +66,57 @@ func TestCompareGate(t *testing.T) {
 		t.Fatal("summary without interval benchmarks passed")
 	}
 }
+
+// TestCompareMissingBaselineEntry: a benchmark present in the run but
+// absent from the baseline must fail the gate with a clear error naming
+// the benchmark, not silently skip it.
+func TestCompareMissingBaselineEntry(t *testing.T) {
+	cur := &Summary{
+		IntervalRatio: 0.50,
+		Benchmarks: map[string]Entry{
+			"BenchmarkIntervalSequential": {NsPerOp: 5e6, Runs: 3},
+			"BenchmarkNewHotness":         {NsPerOp: 1e6, Runs: 3},
+		},
+	}
+	base := &Summary{
+		IntervalRatio: 0.50,
+		Benchmarks: map[string]Entry{
+			"BenchmarkIntervalSequential": {NsPerOp: 5e6, Runs: 3},
+		},
+	}
+	err := compare(cur, base, 0.20, 0)
+	if err == nil {
+		t.Fatal("missing baseline entry passed the gate")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkNewHotness") {
+		t.Fatalf("error does not name the missing benchmark: %v", err)
+	}
+	if !strings.Contains(err.Error(), "regenerate") {
+		t.Fatalf("error does not advise regenerating the baseline: %v", err)
+	}
+}
+
+// TestCompareZeroBaselineNsPerOp: a zero/missing ns/op in the baseline
+// must produce a clear error instead of a divide-by-zero Inf in the
+// drift report.
+func TestCompareZeroBaselineNsPerOp(t *testing.T) {
+	cur := &Summary{
+		IntervalRatio: 0.50,
+		Benchmarks: map[string]Entry{
+			"BenchmarkIntervalSequential": {NsPerOp: 5e6, Runs: 3},
+		},
+	}
+	base := &Summary{
+		IntervalRatio: 0.50,
+		Benchmarks: map[string]Entry{
+			"BenchmarkIntervalSequential": {NsPerOp: 0, Runs: 3},
+		},
+	}
+	err := compare(cur, base, 0.20, 0)
+	if err == nil {
+		t.Fatal("zero baseline ns/op passed the gate")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkIntervalSequential") {
+		t.Fatalf("error does not name the corrupt entry: %v", err)
+	}
+}

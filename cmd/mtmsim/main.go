@@ -8,44 +8,67 @@
 //	mtmsim -workload voltdb -solution tiered-autonuma -scale 64 -ops 1
 //	mtmsim -workload gups -solution mtm -faults ebusy-storm
 //	mtmsim -workload gups -solution mtm -parallel 4 -json
+//	mtmsim -workload gups -solution mtm -metrics out.prom -metrics-format prom
 //	mtmsim -list
 //
 // -parallel sets the worker count for the sharded profiling/migration
 // phases (0 = GOMAXPROCS, 1 = sequential); results are bit-identical at
 // every setting. -json emits the Result as JSON on stdout, which is what
-// the CI determinism gate diffs across parallelism levels.
+// the CI determinism gate diffs across parallelism levels. A failed run
+// (e.g. out of memory under -faults capacity-crunch) still emits the
+// partial Result with an "error" field, and exits non-zero.
+//
+// -metrics enables the observability layer and writes its export to the
+// given file; -metrics-format selects JSON (default) or Prometheus text
+// exposition format.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"mtm"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable CLI body: flags in, report out, exit code returned.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mtmsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		wl       = flag.String("workload", "gups", "workload name")
-		sol      = flag.String("solution", "mtm", "solution name")
-		scale    = flag.Int64("scale", 256, "machine scale divisor")
-		ops      = flag.Float64("ops", 0.5, "workload length factor")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-		two      = flag.Bool("two-tier", false, "use the single-socket DRAM+PM machine")
-		cxl      = flag.Bool("cxl", false, "use the DRAM + direct-CXL + switched-CXL machine")
-		faults   = flag.String("faults", "none", "fault-injection scenario")
-		parallel = flag.Int("parallel", 0, "worker count for sharded phases (0 = GOMAXPROCS)")
-		jsonOut  = flag.Bool("json", false, "emit the result as JSON instead of the text report")
-		list     = flag.Bool("list", false, "list workloads, solutions and fault scenarios")
+		wl        = fs.String("workload", "gups", "workload name")
+		sol       = fs.String("solution", "mtm", "solution name")
+		scale     = fs.Int64("scale", 256, "machine scale divisor")
+		ops       = fs.Float64("ops", 0.5, "workload length factor")
+		seed      = fs.Int64("seed", 1, "simulation seed")
+		two       = fs.Bool("two-tier", false, "use the single-socket DRAM+PM machine")
+		cxl       = fs.Bool("cxl", false, "use the DRAM + direct-CXL + switched-CXL machine")
+		faults    = fs.String("faults", "none", "fault-injection scenario")
+		parallel  = fs.Int("parallel", 0, "worker count for sharded phases (0 = GOMAXPROCS)")
+		jsonOut   = fs.Bool("json", false, "emit the result as JSON instead of the text report")
+		metrics   = fs.String("metrics", "", "enable the metrics layer and write its export to this file")
+		metricsFm = fs.String("metrics-format", "json", "metrics file format: json or prom")
+		list      = fs.Bool("list", false, "list workloads, solutions and fault scenarios")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
-		fmt.Println("workloads:", mtm.WorkloadNames())
-		fmt.Println("solutions:", mtm.SolutionNames())
-		fmt.Println("faults:   ", mtm.FaultScenarios())
-		return
+		fmt.Fprintln(stdout, "workloads:", mtm.WorkloadNames())
+		fmt.Fprintln(stdout, "solutions:", mtm.SolutionNames())
+		fmt.Fprintln(stdout, "faults:   ", mtm.FaultScenarios())
+		return 0
+	}
+	if *metricsFm != "json" && *metricsFm != "prom" {
+		fmt.Fprintf(stderr, "mtmsim: invalid -metrics-format %q (want json or prom)\n", *metricsFm)
+		return 2
 	}
 
 	cfg := mtm.DefaultConfig()
@@ -56,48 +79,100 @@ func main() {
 	cfg.CXL = *cxl
 	cfg.Faults = *faults
 	cfg.Parallelism = *parallel
+	cfg.Metrics = *metrics != ""
 
 	res, err := mtm.Run(cfg, *wl, *sol)
 	if err != nil && res == nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 	if err != nil {
 		// Partial result: the run failed mid-flight (e.g. out of memory).
-		fmt.Fprintf(os.Stderr, "warning: run failed after %d intervals: %v\n", res.Intervals, err)
+		// Keep going — the partial breakdown, JSON, and metrics are the
+		// post-mortem evidence.
+		fmt.Fprintf(stderr, "warning: run failed after %d intervals: %v\n", res.Intervals, err)
 	}
 	if res.Truncated {
-		fmt.Fprintf(os.Stderr, "warning: run truncated after %d intervals without completing; results cover a partial run\n", res.Intervals)
+		fmt.Fprintf(stderr, "warning: run truncated after %d intervals without completing; results cover a partial run\n", res.Intervals)
+	}
+
+	if *metrics != "" {
+		if werr := writeMetrics(*metrics, *metricsFm, res); werr != nil {
+			fmt.Fprintln(stderr, werr)
+			return 1
+		}
 	}
 
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(res); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		// The envelope carries the (possibly partial) result plus the run
+		// error, so failed runs are still machine-readable.
+		out := struct {
+			*mtm.Result
+			Error string `json:"error,omitempty"`
+		}{Result: res}
+		if err != nil {
+			out.Error = err.Error()
 		}
-		return
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if eerr := enc.Encode(out); eerr != nil {
+			fmt.Fprintln(stderr, eerr)
+			return 1
+		}
+		if err != nil {
+			return 1
+		}
+		return 0
 	}
 
-	fmt.Printf("workload:   %s\n", res.Workload)
-	fmt.Printf("solution:   %s\n", res.Solution)
-	fmt.Printf("completed:  %v (%d intervals)\n", res.Completed, res.Intervals)
-	fmt.Printf("exec time:  %v (virtual)\n", res.ExecTime)
-	fmt.Printf("  app:       %v\n", res.App)
-	fmt.Printf("  profiling: %v (%.1f%%)\n", res.Profiling, pct(res.Profiling, res.ExecTime))
-	fmt.Printf("  migration: %v (%.1f%%)\n", res.Migration, pct(res.Migration, res.ExecTime))
-	fmt.Printf("background copy: %v\n", res.Background)
-	fmt.Printf("promoted:   %d MB, demoted: %d MB\n", res.PromotedBytes>>20, res.DemotedBytes>>20)
+	fmt.Fprintf(stdout, "workload:   %s\n", res.Workload)
+	fmt.Fprintf(stdout, "solution:   %s\n", res.Solution)
+	fmt.Fprintf(stdout, "completed:  %v (%d intervals)\n", res.Completed, res.Intervals)
+	fmt.Fprintf(stdout, "exec time:  %v (virtual)\n", res.ExecTime)
+	fmt.Fprintf(stdout, "  app:       %v\n", res.App)
+	fmt.Fprintf(stdout, "  profiling: %v (%.1f%%)\n", res.Profiling, pct(res.Profiling, res.ExecTime))
+	fmt.Fprintf(stdout, "  migration: %v (%.1f%%)\n", res.Migration, pct(res.Migration, res.ExecTime))
+	fmt.Fprintf(stdout, "background copy: %v\n", res.Background)
+	fmt.Fprintf(stdout, "promoted:   %d MB, demoted: %d MB\n", res.PromotedBytes>>20, res.DemotedBytes>>20)
 	if res.MigrationRetries+res.MigrationAborts+res.DeferredPromotions+res.EmergencyDemotions > 0 {
-		fmt.Printf("robustness: retries=%d aborts=%d wasted=%dKB deferred-promotions=%d emergency-demotions=%d\n",
+		fmt.Fprintf(stdout, "robustness: retries=%d aborts=%d wasted=%dKB deferred-promotions=%d emergency-demotions=%d\n",
 			res.MigrationRetries, res.MigrationAborts, res.WastedBytes>>10, res.DeferredPromotions, res.EmergencyDemotions)
 	}
 	topo := cfg.Topology()
-	fmt.Println("accesses per node:")
+	fmt.Fprintln(stdout, "accesses per node:")
 	for i, n := range res.NodeAccesses {
-		fmt.Printf("  %-6s %12d (%.1f%%)\n", topo.Nodes[i].Name, n, 100*float64(n)/float64(res.TotalAccesses))
+		fmt.Fprintf(stdout, "  %-6s %12d (%.1f%%)\n", topo.Nodes[i].Name, n, 100*float64(n)/float64(res.TotalAccesses))
 	}
+	if err != nil {
+		return 1
+	}
+	return 0
+}
+
+// writeMetrics writes the run's metrics export to path in the requested
+// format.
+func writeMetrics(path, format string, res *mtm.Result) error {
+	if res.Metrics == nil {
+		return fmt.Errorf("mtmsim: run produced no metrics export")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("mtmsim: %w", err)
+	}
+	defer f.Close()
+	switch format {
+	case "prom":
+		if err := res.Metrics.WriteProm(f); err != nil {
+			return fmt.Errorf("mtmsim: writing %s: %w", path, err)
+		}
+	default:
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res.Metrics); err != nil {
+			return fmt.Errorf("mtmsim: writing %s: %w", path, err)
+		}
+	}
+	return f.Close()
 }
 
 func pct(part, whole interface{ Seconds() float64 }) float64 {

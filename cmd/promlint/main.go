@@ -1,0 +1,37 @@
+// Command promlint validates a Prometheus text exposition file (the
+// output of mtmsim -metrics-format prom). CI runs it on a freshly
+// generated export; exit 0 means the file parses.
+//
+// Usage:
+//
+//	promlint out.prom
+//	mtmsim -metrics /dev/stdout -metrics-format prom ... | promlint
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"mtm/internal/promlint"
+)
+
+func main() {
+	var r io.Reader = os.Stdin
+	name := "<stdin>"
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "promlint:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+		name = os.Args[1]
+	}
+	if err := promlint.Lint(r); err != nil {
+		fmt.Fprintf(os.Stderr, "promlint: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	fmt.Printf("promlint: %s OK\n", name)
+}

@@ -67,6 +67,12 @@ type Config struct {
 	// link is degraded; LinkDegradeFactor (>1) divides its bandwidth.
 	LinkDegradeDuty   float64
 	LinkDegradeFactor float64
+
+	// CapacityTaxFrac models co-tenant memory consumption: the engine
+	// reserves this fraction of every node's capacity up front (see
+	// sim.SetFaultPlane), so workloads sized for the full machine hit real
+	// exhaustion and exercise the emergency-reclaim / OOM path.
+	CapacityTaxFrac float64
 }
 
 // Injector is a deterministic fault source implementing sim.FaultPlane.
@@ -170,6 +176,39 @@ func (in *Injector) SampleDropFrac() float64 {
 	return in.Cfg.SampleDropFrac
 }
 
+// CapacityTax returns the fraction of every node's capacity held by
+// simulated co-tenants. The engine reads it once at SetFaultPlane (an
+// optional extension beyond sim.FaultPlane).
+func (in *Injector) CapacityTax() float64 { return in.Cfg.CapacityTaxFrac }
+
+// ActiveClasses names the failure classes whose storm windows are open
+// this interval, in a fixed order. The engine's metrics layer turns each
+// into a fault-activation event; the always-on capacity tax is not listed
+// (it is a standing condition, not a storm).
+func (in *Injector) ActiveClasses() []string {
+	var out []string
+	if in.busyActive {
+		out = append(out, "page-busy")
+	}
+	for _, p := range in.pressured {
+		if p {
+			out = append(out, "tier-pressure")
+			break
+		}
+	}
+	if in.dropActive {
+		out = append(out, "sample-drop")
+	}
+	for _, row := range in.degraded {
+		for _, d := range row {
+			if d {
+				return append(out, "link-degrade")
+			}
+		}
+	}
+	return out
+}
+
 // LinkBWFactor returns the bandwidth-degradation divisor (>= 1) of the
 // socket→node link this interval.
 func (in *Injector) LinkBWFactor(socket int, n tier.NodeID) float64 {
@@ -199,6 +238,10 @@ var scenarios = map[string]Config{
 	// link-degrade: links intermittently run at a quarter of their rated
 	// bandwidth (noisy-neighbour interconnect contention).
 	"link-degrade": {LinkDegradeDuty: 0.5, LinkDegradeFactor: 4},
+	// capacity-crunch: co-tenants hold 95% of every tier, so a workload
+	// sized for the machine exhausts real capacity and drives the
+	// emergency-reclaim / graceful-OOM path.
+	"capacity-crunch": {CapacityTaxFrac: 0.95},
 	// chaos: everything at once, for worst-case soak runs.
 	"chaos": {
 		PageBusyProb: 0.10, PageBusyDuty: 1.0,

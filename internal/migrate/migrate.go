@@ -287,8 +287,10 @@ func rebind(e *sim.Engine, v *vm.VMA, cand []int, dst tier.NodeID, maxPages int,
 			res.waste += penalty
 			if attempt < rp.MaxAttempts {
 				res.retries++
-				e.NoteMigrationRetry()
-				res.waste += rp.Backoff(attempt)
+				e.NoteMigrationRetryAt(src, dst)
+				backoff := rp.Backoff(attempt)
+				res.waste += backoff
+				e.NoteMigrationBackoff(src, dst, backoff)
 			}
 		}
 		if !ok {

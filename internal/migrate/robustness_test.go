@@ -104,6 +104,60 @@ func TestBackoffCapped(t *testing.T) {
 	}
 }
 
+// TestRetryPolicyBoundaries pins the Backoff/norm boundary behaviour the
+// rebind loop relies on: the virtual-time sequence it charges must stay
+// stable across refactors.
+func TestRetryPolicyBoundaries(t *testing.T) {
+	// DefaultRetry's charged sequence: 5, 10, 20, 40, 80, then pinned at
+	// the 80 µs cap.
+	want := []time.Duration{
+		5 * time.Microsecond, 10 * time.Microsecond, 20 * time.Microsecond,
+		40 * time.Microsecond, 80 * time.Microsecond, 80 * time.Microsecond,
+	}
+	for i, w := range want {
+		if got := DefaultRetry.Backoff(i + 1); got != w {
+			t.Fatalf("DefaultRetry.Backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+
+	// n=1 is the first failed attempt: exactly BaseBackoff, no doubling.
+	p := RetryPolicy{MaxAttempts: 3, BaseBackoff: 7 * time.Microsecond, MaxBackoff: 100 * time.Microsecond}
+	if got := p.Backoff(1); got != 7*time.Microsecond {
+		t.Fatalf("Backoff(1) = %v, want BaseBackoff", got)
+	}
+
+	// Cap saturation: once the doubled value reaches MaxBackoff it stays
+	// there for every later attempt (no overflow, no oscillation).
+	sat := RetryPolicy{MaxAttempts: 64, BaseBackoff: time.Microsecond, MaxBackoff: 8 * time.Microsecond}
+	for n := 4; n <= 64; n += 15 {
+		if got := sat.Backoff(n); got != 8*time.Microsecond {
+			t.Fatalf("Backoff(%d) = %v, want saturated cap", n, got)
+		}
+	}
+
+	// The zero value resolves to DefaultRetry wholesale.
+	if got := (RetryPolicy{}).norm(); got != DefaultRetry {
+		t.Fatalf("zero-value norm() = %+v, want DefaultRetry", got)
+	}
+	// A set MaxAttempts with zero durations inherits the default backoffs.
+	got := RetryPolicy{MaxAttempts: 2}.norm()
+	if got.MaxAttempts != 2 || got.BaseBackoff != DefaultRetry.BaseBackoff {
+		t.Fatalf("partial norm() = %+v", got)
+	}
+
+	// MaxBackoff below BaseBackoff collapses to a constant backoff at
+	// BaseBackoff — never a cap below the base, never zero.
+	inv := RetryPolicy{MaxAttempts: 5, BaseBackoff: 10 * time.Microsecond, MaxBackoff: 2 * time.Microsecond}.norm()
+	if inv.MaxBackoff != inv.BaseBackoff {
+		t.Fatalf("inverted norm() = %+v, want MaxBackoff == BaseBackoff", inv)
+	}
+	for n := 1; n <= 5; n++ {
+		if got := inv.Backoff(n); got != 10*time.Microsecond {
+			t.Fatalf("inverted Backoff(%d) = %v, want constant BaseBackoff", n, got)
+		}
+	}
+}
+
 func TestMaxPagesCapCountsAbortedAttempts(t *testing.T) {
 	// The cap is a work budget: pages that abort still consume it, like
 	// the kernel's nr_pages under repeated EBUSY.

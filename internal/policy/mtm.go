@@ -141,7 +141,7 @@ func (p *MTM) promote(e *sim.Engine, hist *region.Histogram) {
 				// it now would burn budget on doomed moves. Defer; the
 				// region stays eligible and the unused budget carries into
 				// the next interval.
-				e.NoteDeferredPromotion()
+				e.NoteDeferredPromotionTo(dst)
 				continue
 			}
 			need := int64(minInt(maxPages, r.Pages())) * r.V.PageSize

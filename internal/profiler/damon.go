@@ -59,6 +59,7 @@ type DAMON struct {
 
 	set   *region.Set
 	scans int64
+	pm    profMetrics
 }
 
 // NewDAMON creates the baseline with the given config.
@@ -98,6 +99,7 @@ func (d *DAMON) Attach(e *sim.Engine) {
 	for _, v := range e.AS.VMAs() {
 		d.set.InitVMA(v, v.Bytes())
 	}
+	d.pm = newProfMetrics(e, d.Name())
 }
 
 func (d *DAMON) IntervalStart(*sim.Engine) {}
@@ -127,6 +129,8 @@ func (d *DAMON) Profile(e *sim.Engine) {
 	n := int64(len(regions) * d.Cfg.ChecksPerInterval)
 	d.scans += n
 	e.ChargeProfiling(time.Duration(n) * OneScanOverhead)
+	d.pm.scanNs.AddDuration(time.Duration(n) * OneScanOverhead)
+	d.pm.pages.Add(int64(len(regions)))
 
 	// Merge neighbours whose nr_accesses differ by <= threshold, while
 	// respecting the minimum region count.
@@ -138,6 +142,8 @@ func (d *DAMON) Profile(e *sim.Engine) {
 	if d.set.Len() < d.Cfg.MaxRegions/2 {
 		d.randomSplit(e)
 	}
+	d.pm.merges.Add(d.set.MergedThisInterval)
+	d.pm.splits.Add(d.set.SplitThisInterval)
 }
 
 // randomSplit reproduces DAMON's split step: every region is split at a

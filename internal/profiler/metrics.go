@@ -1,0 +1,33 @@
+package profiler
+
+import (
+	"mtm/internal/metrics"
+	"mtm/internal/sim"
+)
+
+// profMetrics bundles the per-profiler instrument handles, labeled by
+// profiler name so runs comparing solutions keep their series apart. The
+// zero value (and the value built against a metrics-disabled engine) is
+// fully usable: every handle is nil and every recording no-ops, so the
+// profilers carry no "metrics enabled?" branches.
+type profMetrics struct {
+	scanNs      *metrics.Counter // critical-path profiling cost charged
+	pages       *metrics.Counter // pages whose PTEs were scanned/sampled
+	pebsKept    *metrics.Counter // PEBS samples delivered to attribution
+	pebsDropped *metrics.Counter // PEBS samples lost (overflow / fault storms)
+	splits      *metrics.Counter
+	merges      *metrics.Counter
+}
+
+func newProfMetrics(e *sim.Engine, name string) profMetrics {
+	reg := e.Metrics()
+	l := metrics.L("profiler", name)
+	return profMetrics{
+		scanNs:      reg.Counter("mtm_profiler_scan_ns_total", "critical-path profiling cost charged (virtual ns)", l),
+		pages:       reg.Counter("mtm_profiler_pages_scanned_total", "pages whose PTEs were scanned", l),
+		pebsKept:    reg.Counter("mtm_profiler_pebs_samples_kept_total", "PEBS samples delivered to attribution", l),
+		pebsDropped: reg.Counter("mtm_profiler_pebs_samples_dropped_total", "PEBS samples lost to buffer overflow or injected drop storms", l),
+		splits:      reg.Counter("mtm_profiler_region_splits_total", "region splits performed", l),
+		merges:      reg.Counter("mtm_profiler_region_merges_total", "region merges performed", l),
+	}
+}

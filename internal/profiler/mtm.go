@@ -74,6 +74,9 @@ type MTM struct {
 
 	pmNodes  []tier.NodeID // nodes profiled event-driven via PEBS
 	isPMNode []bool        // indexed by NodeID
+
+	pm          profMetrics
+	lastDropped int64 // buffer's cumulative drop count at last Profile
 }
 
 // NewMTM creates the profiler with the given config.
@@ -125,6 +128,7 @@ func (m *MTM) Attach(e *sim.Engine) {
 		m.buf = pebs.NewBuffer(len(e.Sys.Topo.Nodes), 1<<16, e.Rng)
 		e.PEBS = m.buf
 	}
+	m.pm = newProfMetrics(e, m.Name())
 }
 
 func (m *MTM) IntervalStart(e *sim.Engine) {
@@ -177,6 +181,11 @@ func (m *MTM) Profile(e *sim.Engine) {
 		pebsHits = make(map[*region.Region]int)
 		pebsPages = make(map[*region.Region][]int)
 		samples := m.buf.Samples()
+		m.pm.pebsKept.Add(int64(len(samples)))
+		if d := int64(m.buf.Dropped()); d > m.lastDropped {
+			m.pm.pebsDropped.Add(d - m.lastDropped)
+			m.lastDropped = d
+		}
 		type attributed struct{ region, page int }
 		shards := m.buf.Partition(pebsShardSamples)
 		parts := make([][]attributed, len(shards))
@@ -200,7 +209,9 @@ func (m *MTM) Profile(e *sim.Engine) {
 		}
 		// PEBS runtime overhead is <1% (§9.3); charge a small per-sample
 		// handling cost.
-		e.ChargeProfiling(time.Duration(len(samples)) * 100 * time.Nanosecond)
+		handling := time.Duration(len(samples)) * 100 * time.Nanosecond
+		e.ChargeProfiling(handling)
+		m.pm.scanNs.AddDuration(handling)
 	}
 
 	// Decide which regions to profile and trim quotas to budget.
@@ -214,10 +225,11 @@ func (m *MTM) Profile(e *sim.Engine) {
 	// read (ObserveScans models the scan, it does not clear bits).
 	nShards := sim.NumShards(len(regions), scanShardRegions)
 	shardScans := make([]int64, nShards)
+	shardPages := make([]int64, nShards)
 	e.Parallel(nShards, func(s int) {
 		rng := e.ShardRand(sim.SaltPTEScan, s)
 		lo, hi := sim.ShardSpan(len(regions), scanShardRegions, s)
-		var scans int64
+		var scans, nPages int64
 		for _, r := range regions[lo:hi] {
 			if !profiled[r] {
 				// Event-driven: no PEBS event means no observed traffic;
@@ -253,6 +265,7 @@ func (m *MTM) Profile(e *sim.Engine) {
 				sum += obs
 			}
 			scans += int64(len(pages) * m.Cfg.NumScans)
+			nPages += int64(len(pages))
 			r.PrevHI = r.HI
 			if len(pages) > 0 {
 				r.HI = float64(sum) / float64(len(pages))
@@ -262,13 +275,17 @@ func (m *MTM) Profile(e *sim.Engine) {
 			r.Sampled = true
 		}
 		shardScans[s] = scans
+		shardPages[s] = nPages
 	})
-	var totalScans int64
-	for _, s := range shardScans {
-		totalScans += s
+	var totalScans, totalPages int64
+	for s := range shardScans {
+		totalScans += shardScans[s]
+		totalPages += shardPages[s]
 	}
 	m.scans += totalScans
 	e.ChargeProfiling(time.Duration(totalScans) * MTMScanCost)
+	m.pm.scanNs.AddDuration(time.Duration(totalScans) * MTMScanCost)
+	m.pm.pages.Add(totalPages)
 
 	// Time-consecutive profiling: EMA update and variance tracking.
 	m.topVar.Reset()
@@ -283,6 +300,8 @@ func (m *MTM) Profile(e *sim.Engine) {
 		freed := m.set.MergePass(tauM)
 		m.set.SplitPass(m.set.TauS)
 		m.redistribute(e, freed)
+		m.pm.merges.Add(m.set.MergedThisInterval)
+		m.pm.splits.Add(m.set.SplitThisInterval)
 	}
 	if m.Cfg.OverheadControl {
 		if m.set.Len() > m.budget {

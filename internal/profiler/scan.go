@@ -29,6 +29,7 @@ type RandomChunk struct {
 
 	set   *region.Set
 	scans int64
+	pm    profMetrics
 }
 
 // NewRandomChunk creates the AutoTiering-style profiler.
@@ -42,6 +43,7 @@ func (p *RandomChunk) Set() *region.Set { return p.set }
 func (p *RandomChunk) Attach(e *sim.Engine) {
 	p.set = region.NewSet(region.DefaultNumScans)
 	initRegions(e, p.set, DefaultRegionBytes)
+	p.pm = newProfMetrics(e, p.Name())
 }
 
 func (p *RandomChunk) IntervalStart(*sim.Engine) {}
@@ -120,7 +122,10 @@ func (p *RandomChunk) Profile(e *sim.Engine) {
 	p.scans += scans
 	// Present-bit profiling takes a fault per observed page on top of
 	// the PTE write; charge scan + fault cost per page.
-	e.ChargeProfiling(time.Duration(scans) * (OneScanOverhead + ProtFaultCost/2))
+	cost := time.Duration(scans) * (OneScanOverhead + ProtFaultCost/2)
+	e.ChargeProfiling(cost)
+	p.pm.scanNs.AddDuration(cost)
+	p.pm.pages.Add(scans)
 }
 
 // SequentialScan is the tiered-AutoNUMA profiling baseline: a scan pointer
@@ -138,6 +143,7 @@ type SequentialScan struct {
 	set    *region.Set
 	cursor int
 	faults int64
+	pm     profMetrics
 }
 
 // NewSequentialScan creates the tiered-AutoNUMA-style profiler.
@@ -162,6 +168,7 @@ func (p *SequentialScan) Set() *region.Set { return p.set }
 func (p *SequentialScan) Attach(e *sim.Engine) {
 	p.set = region.NewSet(region.DefaultNumScans)
 	initRegions(e, p.set, DefaultRegionBytes)
+	p.pm = newProfMetrics(e, p.Name())
 }
 
 func (p *SequentialScan) IntervalStart(*sim.Engine) {}
@@ -211,5 +218,8 @@ func (p *SequentialScan) Profile(e *sim.Engine) {
 	p.faults += faults
 	// Hint faults are 12x a PTE scan (§6.2); AutoNUMA's profiling cost
 	// is dominated by them.
-	e.ChargeProfiling(time.Duration(faults) * HintFaultCost / 4)
+	cost := time.Duration(faults) * HintFaultCost / 4
+	e.ChargeProfiling(cost)
+	p.pm.scanNs.AddDuration(cost)
+	p.pm.pages.Add(faults)
 }

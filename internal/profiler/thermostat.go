@@ -23,6 +23,7 @@ type Thermostat struct {
 
 	set    *region.Set
 	faults int64
+	pm     profMetrics
 }
 
 // NewThermostat creates the baseline with the paper's 5% target.
@@ -38,6 +39,7 @@ func (t *Thermostat) Set() *region.Set { return t.set }
 func (t *Thermostat) Attach(e *sim.Engine) {
 	t.set = region.NewSet(region.DefaultNumScans)
 	initRegions(e, t.set, DefaultRegionBytes)
+	t.pm = newProfMetrics(e, t.Name())
 }
 
 func (t *Thermostat) IntervalStart(*sim.Engine) {}
@@ -113,4 +115,6 @@ func (t *Thermostat) Profile(e *sim.Engine) {
 		r.UpdateEMA(t.Alpha)
 	}
 	e.ChargeProfiling(spent)
+	t.pm.scanNs.AddDuration(spent)
+	t.pm.pages.Add(int64(n))
 }

@@ -1,0 +1,187 @@
+// Package promlint is a small validator for the Prometheus text
+// exposition format (version 0.0.4) — enough of the grammar to catch a
+// malformed export before CI ships it: metric/label name syntax, label
+// quoting, numeric sample values, HELP/TYPE header placement, and the
+// _bucket/_sum/_count shape of histogram families. It is intentionally a
+// linter, not a full client parser.
+package promlint
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+var (
+	nameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+	// sampleRe splits one sample line into name, optional label block, and
+	// the rest (value and optional timestamp).
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)(\s+-?\d+)?\s*$`)
+)
+
+var validTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true,
+	"summary": true, "untyped": true,
+}
+
+// Lint reads a text exposition and returns the first format violation, or
+// nil if the input parses. Empty input is an error (an empty metrics file
+// in CI means the exporter silently produced nothing).
+func Lint(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	types := map[string]string{} // family -> declared type
+	seenSample := map[string]bool{}
+	lines := 0
+	samples := 0
+	for sc.Scan() {
+		lines++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := lintComment(line, types, seenSample); err != nil {
+				return fmt.Errorf("line %d: %w", lines, err)
+			}
+			continue
+		}
+		if err := lintSample(line, types); err != nil {
+			return fmt.Errorf("line %d: %w", lines, err)
+		}
+		samples++
+		m := sampleRe.FindStringSubmatch(line)
+		seenSample[familyOf(m[1], types)] = true
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("no samples found (empty or comment-only exposition)")
+	}
+	return nil
+}
+
+// lintComment validates a # line. Only HELP and TYPE have structure; any
+// other comment is legal and ignored.
+func lintComment(line string, types map[string]string, seenSample map[string]bool) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+		return nil
+	}
+	if len(fields) < 3 {
+		return fmt.Errorf("%s without a metric name: %q", fields[1], line)
+	}
+	name := fields[2]
+	if !nameRe.MatchString(name) {
+		return fmt.Errorf("invalid metric name %q in %s", name, fields[1])
+	}
+	if fields[1] == "TYPE" {
+		if len(fields) < 4 {
+			return fmt.Errorf("TYPE %s without a type", name)
+		}
+		typ := fields[3]
+		if !validTypes[typ] {
+			return fmt.Errorf("unknown type %q for %s", typ, name)
+		}
+		if _, dup := types[name]; dup {
+			return fmt.Errorf("duplicate TYPE for %s", name)
+		}
+		if seenSample[name] {
+			return fmt.Errorf("TYPE for %s appears after its samples", name)
+		}
+		types[name] = typ
+	}
+	return nil
+}
+
+// lintSample validates one sample line.
+func lintSample(line string, types map[string]string) error {
+	m := sampleRe.FindStringSubmatch(line)
+	if m == nil {
+		return fmt.Errorf("malformed sample line: %q", line)
+	}
+	name, labels, value := m[1], m[2], m[3]
+	if labels != "" {
+		if err := lintLabels(labels); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	switch value {
+	case "+Inf", "-Inf", "NaN":
+	default:
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return fmt.Errorf("%s: non-numeric value %q", name, value)
+		}
+	}
+	fam := familyOf(name, types)
+	if typ, ok := types[fam]; ok && typ == "histogram" {
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			if !strings.Contains(labels, `le="`) {
+				return fmt.Errorf("%s: histogram bucket without an le label", name)
+			}
+		case strings.HasSuffix(name, "_sum"), strings.HasSuffix(name, "_count"), name == fam:
+		default:
+			return fmt.Errorf("%s: unexpected suffix for histogram family %s", name, fam)
+		}
+	}
+	return nil
+}
+
+// lintLabels validates a {k="v",...} block.
+func lintLabels(block string) error {
+	body := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
+	if body == "" {
+		return nil
+	}
+	// Split on commas outside quotes.
+	var parts []string
+	depth := false
+	start := 0
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				parts = append(parts, body[start:i])
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, body[start:])
+	for _, p := range parts {
+		eq := strings.Index(p, "=")
+		if eq < 0 {
+			return fmt.Errorf("label pair %q lacks '='", p)
+		}
+		k, v := p[:eq], p[eq+1:]
+		if !labelRe.MatchString(k) {
+			return fmt.Errorf("invalid label name %q", k)
+		}
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return fmt.Errorf("label %s value not quoted: %q", k, v)
+		}
+	}
+	return nil
+}
+
+// familyOf strips histogram/summary suffixes so _bucket/_sum/_count
+// samples resolve to their declared family.
+func familyOf(name string, types map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base := strings.TrimSuffix(name, suf); base != name {
+			if _, ok := types[base]; ok {
+				return base
+			}
+		}
+	}
+	return name
+}

@@ -1,0 +1,52 @@
+package promlint
+
+import (
+	"strings"
+	"testing"
+)
+
+const goodExposition = `# HELP mtm_sim_intervals_total profiling intervals completed
+# TYPE mtm_sim_intervals_total counter
+mtm_sim_intervals_total 42
+# TYPE mtm_sim_node_contention gauge
+mtm_sim_node_contention{node="DRAM0"} 1.25
+mtm_sim_node_contention{node="we\"ird"} 2
+# TYPE mtm_sim_interval_app_ns histogram
+mtm_sim_interval_app_ns_bucket{le="1000"} 1
+mtm_sim_interval_app_ns_bucket{le="+Inf"} 2
+mtm_sim_interval_app_ns_sum 2000500
+mtm_sim_interval_app_ns_count 2
+`
+
+func TestLintAcceptsValidExposition(t *testing.T) {
+	if err := Lint(strings.NewReader(goodExposition)); err != nil {
+		t.Fatalf("valid exposition rejected: %v", err)
+	}
+}
+
+func TestLintRejections(t *testing.T) {
+	cases := map[string]string{
+		"empty input":        "",
+		"comment only":       "# TYPE x counter\n",
+		"bad metric name":    "3bad_name 1\n",
+		"non-numeric value":  "x_total one\n",
+		"unquoted label":     `x_total{node=dram} 1` + "\n",
+		"bad label name":     `x_total{3node="a"} 1` + "\n",
+		"unknown type":       "# TYPE x_total flurble\nx_total 1\n",
+		"duplicate type":     "# TYPE x counter\n# TYPE x gauge\nx 1\n",
+		"type after samples": "x 1\n# TYPE x counter\n",
+		"bucket without le":  "# TYPE h histogram\nh_bucket{node=\"a\"} 1\nh_sum 1\nh_count 1\n",
+	}
+	for name, input := range cases {
+		if err := Lint(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestLintAcceptsSpecialValues(t *testing.T) {
+	in := "# TYPE g gauge\ng NaN\ng{node=\"a\"} +Inf\n"
+	if err := Lint(strings.NewReader(in)); err != nil {
+		t.Fatalf("special values rejected: %v", err)
+	}
+}

@@ -3,11 +3,13 @@ package region
 // Histogram buckets regions by their WHI (EMA of hotness indication) so
 // the migration policy can take regions from the hottest buckets first
 // (§6.1). Bucket boundaries are fixed over [0, numScans] — the full range
-// a WHI can occupy — so the structure needs only an O(1) update when one
-// region's WHI changes.
+// a WHI can occupy — so Update rebuckets one region in O(1) in the region
+// count (the only non-constant work is the removal scan inside the
+// region's old bucket).
 type Histogram struct {
 	buckets [][]*Region
 	width   float64
+	index   map[*Region]int // region -> bucket currently holding it
 }
 
 // NewHistogram builds a histogram of the given regions with nbuckets
@@ -22,12 +24,37 @@ func NewHistogram(regions []*Region, nbuckets int, maxWHI float64) *Histogram {
 	h := &Histogram{
 		buckets: make([][]*Region, nbuckets),
 		width:   maxWHI / float64(nbuckets),
+		index:   make(map[*Region]int, len(regions)),
 	}
 	for _, r := range regions {
 		i := h.bucketOf(r.WHI)
 		h.buckets[i] = append(h.buckets[i], r)
+		h.index[r] = i
 	}
 	return h
+}
+
+// Update rebuckets r after its WHI changed. A region the histogram has
+// never seen is inserted. Regions whose WHI stayed within their bucket
+// are left untouched; otherwise the removal preserves the old bucket's
+// insertion order, so HottestFirst/ColdestFirst stay deterministic.
+func (h *Histogram) Update(r *Region) {
+	ni := h.bucketOf(r.WHI)
+	oi, seen := h.index[r]
+	if seen && oi == ni {
+		return
+	}
+	if seen {
+		b := h.buckets[oi]
+		for j, kept := range b {
+			if kept == r {
+				h.buckets[oi] = append(b[:j], b[j+1:]...)
+				break
+			}
+		}
+	}
+	h.buckets[ni] = append(h.buckets[ni], r)
+	h.index[r] = ni
 }
 
 func (h *Histogram) bucketOf(whi float64) int {
@@ -82,8 +109,15 @@ func NewTopVariance(k int) *TopVariance {
 	return &TopVariance{k: k}
 }
 
-// Offer considers region r for the top-K set.
+// Offer considers region r for the top-K set. A region already in the set
+// is never admitted twice: duplicate slots would make the quota
+// redistribution (§5.2) hand the same region a multiple share.
 func (t *TopVariance) Offer(r *Region) {
+	for _, kept := range t.regions {
+		if kept == r {
+			return
+		}
+	}
 	v := r.Variance()
 	if len(t.regions) < t.k {
 		t.regions = append(t.regions, r)

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mtm/internal/metrics"
 	"mtm/internal/pebs"
 	"mtm/internal/tier"
 	"mtm/internal/vm"
@@ -109,7 +110,8 @@ type Engine struct {
 
 	sol    Solution
 	faults FaultPlane
-	failed error // sticky first failure (e.g. *OOMError)
+	failed error          // sticky first failure (e.g. *OOMError)
+	met    *engineMetrics // nil unless EnableMetrics was called
 
 	clock time.Duration
 
@@ -248,6 +250,9 @@ func (e *Engine) handleFault(v *vm.VMA, idx int, socket int) (tier.NodeID, bool)
 	}
 	v.Place(idx, node)
 	e.TotalFaults++
+	if e.met != nil {
+		e.met.faults.Inc()
+	}
 	// Demand-zero: kernel fixed cost plus zeroing the page at the
 	// node's best bandwidth.
 	zero := e.Sys.CopyTime(socket, node, node, v.PageSize)
@@ -306,6 +311,7 @@ func (e *Engine) beginInterval() {
 	if e.faults != nil {
 		e.faults.BeginInterval(e.Intervals)
 	}
+	e.metricsBeginInterval()
 	e.intApp, e.intProf, e.intMig, e.intBg = 0, 0, 0, 0
 	e.intPromoted, e.intDemoted = 0, 0
 	for i := range e.intAccesses {
@@ -338,6 +344,7 @@ func (e *Engine) endInterval() {
 	for i := range e.contention {
 		e.contention[i] = e.Sys.ContentionFactor(tier.NodeID(i))
 	}
+	e.metricsEndInterval(app)
 	e.AS.ResetCounts()
 	e.Intervals++
 }
@@ -382,6 +389,11 @@ type Result struct {
 	WastedBytes        int64
 	DeferredPromotions int64
 	EmergencyDemotions int64
+
+	// Metrics is the full observability export (instrument values,
+	// per-interval time series, event log) when the engine ran with
+	// EnableMetrics; nil otherwise.
+	Metrics *metrics.Export `json:",omitempty"`
 }
 
 // Run drives workload w under solution sol until the workload completes,
@@ -416,5 +428,6 @@ func Run(e *Engine, w Workload, sol Solution, maxIntervals int) (*Result, error)
 		WastedBytes:        e.WastedBytes,
 		DeferredPromotions: e.DeferredPromotions,
 		EmergencyDemotions: e.EmergencyDemotions,
+		Metrics:            e.MetricsExport(),
 	}, e.failed
 }

@@ -1,0 +1,216 @@
+// Engine-side metrics wiring: the observability layer of internal/metrics
+// attached to the simulation. Disabled by default — an engine without
+// EnableMetrics runs exactly the pre-metrics code (every recording site
+// goes through nil-safe instrument handles whose methods no-op).
+//
+// Determinism contract: every instrument write and event emission happens
+// on the serialised interval loop, never inside Engine.Parallel — the
+// registry's guard is pointed at assertOwned, so a recording from a shard
+// function panics exactly like Charge*/Note*. Sharded phases accumulate
+// into per-shard scratch slots and record the merged totals afterwards,
+// which keeps metrics-enabled runs byte-identical at any Parallelism.
+package sim
+
+import (
+	"time"
+
+	"mtm/internal/metrics"
+	"mtm/internal/tier"
+)
+
+// Event types emitted by the engine. The profiling interval and virtual
+// clock stamps come from the registry (SetNow at interval boundaries).
+const (
+	// EventMigrationAbort: one page-move transaction rolled back after its
+	// retry budget; Detail is the src->dst pair, Value the page index.
+	EventMigrationAbort = "migration-abort"
+	// EventOOM: capacity exhaustion failed a placement; Detail describes
+	// the faulting VMA, Value the page index. The run carries an
+	// *OOMError from this point.
+	EventOOM = "oom"
+	// EventFaultActivation: a fault-injection class is active this
+	// interval; Detail names the class.
+	EventFaultActivation = "fault-activation"
+	// EventPromotionDeferred: admission control deferred a promotion;
+	// Detail names the pressured destination node.
+	EventPromotionDeferred = "promotion-deferred"
+	// EventEmergencyDemotion: the emergency-reclaim path freed room by
+	// demoting cold pages; Detail names the node that was consolidated.
+	EventEmergencyDemotion = "emergency-demotion"
+)
+
+// engineMetrics holds the engine's pre-registered instrument handles. All
+// handles are resolved once at EnableMetrics; the hot path never performs
+// name lookups.
+type engineMetrics struct {
+	reg *metrics.Registry
+
+	intervals     *metrics.Counter
+	appNs         *metrics.Counter
+	profNs        *metrics.Counter
+	migNs         *metrics.Counter
+	bgNs          *metrics.Counter
+	faults        *metrics.Counter
+	promotedBytes *metrics.Counter
+	demotedBytes  *metrics.Counter
+	deferred      *metrics.Counter
+	emergencies   *metrics.Counter
+	oom           *metrics.Counter
+	retries       *metrics.Counter
+	aborts        *metrics.Counter
+	wastedBytes   *metrics.Counter
+
+	nodeAccesses []*metrics.Counter // per node
+	contention   []*metrics.Gauge   // per node
+
+	// Per-tier-pair migration accounting, indexed [src][dst].
+	movedPages   [][]*metrics.Counter
+	abortedPages [][]*metrics.Counter
+	retriedPages [][]*metrics.Counter
+	backoffNs    [][]*metrics.Counter
+	pairName     [][]string // "src->dst", prebuilt so events never format
+
+	intervalAppNs *metrics.Histogram
+}
+
+// intervalAppBounds are the fixed buckets of the per-interval application
+// time histogram, in nanoseconds (100µs … 10s, decade steps).
+var intervalAppBounds = []float64{1e5, 1e6, 1e7, 1e8, 1e9, 1e10}
+
+// EnableMetrics attaches a fresh metrics registry to the engine and
+// registers the engine-level instruments. Calling it again returns the
+// existing registry. Solutions and profilers register their own
+// instruments against Metrics() during Attach.
+func (e *Engine) EnableMetrics() *metrics.Registry {
+	if e.met != nil {
+		return e.met.reg
+	}
+	reg := metrics.New()
+	reg.SetGuard(func(what string) { e.assertOwned("metrics(" + what + ")") })
+	m := &engineMetrics{reg: reg}
+
+	m.intervals = reg.Counter("mtm_sim_intervals_total", "profiling intervals completed")
+	m.appNs = reg.Counter("mtm_sim_app_ns_total", "cumulative application time (virtual ns)")
+	m.profNs = reg.Counter("mtm_sim_profiling_ns_total", "cumulative critical-path profiling time (virtual ns)")
+	m.migNs = reg.Counter("mtm_sim_migration_ns_total", "cumulative critical-path migration time (virtual ns)")
+	m.bgNs = reg.Counter("mtm_sim_background_ns_total", "cumulative off-critical-path copy time (virtual ns)")
+	m.faults = reg.Counter("mtm_sim_page_faults_total", "demand-zero page faults serviced")
+	m.promotedBytes = reg.Counter("mtm_sim_promoted_bytes_total", "bytes promoted to faster tiers")
+	m.demotedBytes = reg.Counter("mtm_sim_demoted_bytes_total", "bytes demoted to slower tiers")
+	m.deferred = reg.Counter("mtm_sim_deferred_promotions_total", "promotions deferred by admission control")
+	m.emergencies = reg.Counter("mtm_sim_emergency_demotions_total", "emergency-reclaim events in the fault path")
+	m.oom = reg.Counter("mtm_sim_oom_total", "out-of-memory placement failures")
+	m.retries = reg.Counter("mtm_migrate_retries_total", "page-copy attempts retried after transient failure")
+	m.aborts = reg.Counter("mtm_migrate_aborts_total", "page-move transactions rolled back")
+	m.wastedBytes = reg.Counter("mtm_migrate_wasted_bytes_total", "copy bytes thrown away by aborts")
+	m.intervalAppNs = reg.Histogram("mtm_sim_interval_app_ns", "per-interval application time (virtual ns)", intervalAppBounds)
+
+	nodes := e.Sys.Topo.Nodes
+	m.nodeAccesses = make([]*metrics.Counter, len(nodes))
+	m.contention = make([]*metrics.Gauge, len(nodes))
+	for i, n := range nodes {
+		m.nodeAccesses[i] = reg.Counter("mtm_sim_node_accesses_total", "application accesses served per node", metrics.L("node", n.Name))
+		m.contention[i] = reg.Gauge("mtm_sim_node_contention", "bandwidth-contention factor carried into the next interval", metrics.L("node", n.Name))
+	}
+
+	pairCounters := func(name, help string) [][]*metrics.Counter {
+		out := make([][]*metrics.Counter, len(nodes))
+		for s := range nodes {
+			out[s] = make([]*metrics.Counter, len(nodes))
+			for d := range nodes {
+				if s == d {
+					continue // pages never migrate node-to-same-node
+				}
+				out[s][d] = reg.Counter(name, help,
+					metrics.L("src", nodes[s].Name), metrics.L("dst", nodes[d].Name))
+			}
+		}
+		return out
+	}
+	m.movedPages = pairCounters("mtm_migrate_pages_moved_total", "pages migrated per tier pair")
+	m.abortedPages = pairCounters("mtm_migrate_pages_aborted_total", "page moves aborted per tier pair")
+	m.retriedPages = pairCounters("mtm_migrate_pages_retried_total", "page-copy retries per tier pair")
+	m.backoffNs = pairCounters("mtm_migrate_backoff_ns_total", "virtual backoff time charged per tier pair (ns)")
+	m.pairName = make([][]string, len(nodes))
+	for s := range nodes {
+		m.pairName[s] = make([]string, len(nodes))
+		for d := range nodes {
+			m.pairName[s][d] = nodes[s].Name + "->" + nodes[d].Name
+		}
+	}
+
+	e.met = m
+	return reg
+}
+
+// Metrics returns the engine's metrics registry, or nil when metrics are
+// disabled. The registry's instrument constructors and instrument methods
+// are nil-safe, so callers may use the result unconditionally.
+func (e *Engine) Metrics() *metrics.Registry {
+	if e.met == nil {
+		return nil
+	}
+	return e.met.reg
+}
+
+// MetricsExport snapshots the registry for embedding in a Result; nil when
+// metrics are disabled.
+func (e *Engine) MetricsExport() *metrics.Export {
+	if e.met == nil {
+		return nil
+	}
+	return e.met.reg.Export()
+}
+
+// pairCounter indexes a per-pair matrix defensively (NoNode/Invalid src
+// yields nil, which no-ops).
+func pairCounter(m [][]*metrics.Counter, src, dst tier.NodeID) *metrics.Counter {
+	if int(src) < 0 || int(src) >= len(m) {
+		return nil
+	}
+	row := m[src]
+	if int(dst) < 0 || int(dst) >= len(row) {
+		return nil
+	}
+	return row[dst]
+}
+
+// metricsBeginInterval stamps the registry with the interval about to run
+// and emits activation events for any fault-injection classes whose storm
+// windows opened (the plane advertises them via ActiveClasses).
+func (e *Engine) metricsBeginInterval() {
+	if e.met == nil {
+		return
+	}
+	e.met.reg.SetNow(e.Intervals, int64(e.clock))
+	if a, ok := e.faults.(interface{ ActiveClasses() []string }); ok {
+		for _, class := range a.ActiveClasses() {
+			e.met.reg.Emit(EventFaultActivation, class, 0)
+		}
+	}
+}
+
+// metricsEndInterval records the finished interval's accounting and
+// appends one time-series sample. Called from endInterval after the
+// clock advanced but before Intervals increments, so the sample is
+// stamped with the interval it describes.
+func (e *Engine) metricsEndInterval(app time.Duration) {
+	if e.met == nil {
+		return
+	}
+	m := e.met
+	m.intervals.Inc()
+	m.appNs.AddDuration(app)
+	m.profNs.AddDuration(e.intProf)
+	m.migNs.AddDuration(e.intMig)
+	m.bgNs.AddDuration(e.intBg)
+	m.promotedBytes.Add(e.intPromoted)
+	m.demotedBytes.Add(e.intDemoted)
+	m.intervalAppNs.Observe(float64(app))
+	for i, n := range e.intAccesses {
+		m.nodeAccesses[i].Add(n)
+		m.contention[i].Set(e.contention[i])
+	}
+	m.reg.SetNow(e.Intervals, int64(e.clock))
+	m.reg.Sample()
+}

@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"mtm/internal/tier"
+)
+
+// TestMetricsConfinement extends the race-audit guard to the metrics
+// layer: instrument writes and event emission are serialized-loop-only,
+// so doing either from inside a Parallel shard must panic exactly like
+// Charge*/Note* do — even at Parallelism 1.
+func TestMetricsConfinement(t *testing.T) {
+	mustPanic := func(name string, f func(e *Engine)) {
+		t.Run(name, func(t *testing.T) {
+			e := NewEngine(tier.OptaneTopology(256), 1)
+			e.Par = NewPool(1)
+			e.EnableMetrics()
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("%s inside Parallel did not panic", name)
+				}
+				if s, ok := r.(string); !ok || !strings.Contains(s, "metrics") {
+					t.Fatalf("panic %v does not identify the metrics guard", r)
+				}
+			}()
+			e.Parallel(1, func(int) { f(e) })
+		})
+	}
+	mustPanic("counter-write", func(e *Engine) { e.met.faults.Inc() })
+	mustPanic("event-emit", func(e *Engine) {
+		e.Metrics().Emit(EventMigrationAbort, "DRAM0->PMEM0", 1)
+	})
+}
+
+// TestMetricsOutsideParallelAllowed: the same writes are legal on the
+// serialized interval loop, and the guard does not fire for registration
+// or reads.
+func TestMetricsOutsideParallelAllowed(t *testing.T) {
+	e := NewEngine(tier.OptaneTopology(256), 1)
+	e.EnableMetrics()
+	e.met.faults.Inc()
+	e.Metrics().Emit(EventOOM, "test", 0)
+	if got := e.met.faults.Value(); got != 1 {
+		t.Fatalf("counter = %d, want 1", got)
+	}
+	x := e.MetricsExport()
+	if x == nil || len(x.Events) != 1 {
+		t.Fatalf("export missing emitted event: %+v", x)
+	}
+}

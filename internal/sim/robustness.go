@@ -33,11 +33,24 @@ type FaultPlane interface {
 	LinkBWFactor(socket int, n tier.NodeID) float64
 }
 
-// SetFaultPlane attaches a fault plane to the engine (nil detaches).
+// SetFaultPlane attaches a fault plane to the engine (nil detaches). Planes
+// that model co-tenant capacity loss implement an optional
+// CapacityTax() float64 method; the reported fraction of every node's
+// capacity is reserved up front, so workloads sized for the full machine
+// hit genuine exhaustion (ErrOutOfMemory) instead of always fitting.
 func (e *Engine) SetFaultPlane(fp FaultPlane) {
 	e.faults = fp
-	if fp != nil {
-		fp.Attach(e.Sys.Topo.Sockets, len(e.Sys.Topo.Nodes))
+	if fp == nil {
+		return
+	}
+	fp.Attach(e.Sys.Topo.Sockets, len(e.Sys.Topo.Nodes))
+	if t, ok := fp.(interface{ CapacityTax() float64 }); ok {
+		if frac := t.CapacityTax(); frac > 0 {
+			for i := range e.Sys.Topo.Nodes {
+				n := tier.NodeID(i)
+				e.Sys.Reserve(n, int64(frac*float64(e.Sys.Capacity(n))))
+			}
+		}
 	}
 }
 
@@ -90,10 +103,50 @@ func (e *Engine) PromotionPressure(dst tier.NodeID) bool {
 // unsynchronised by design; they may only be mutated from the serialised
 // interval loop, never from inside Engine.Parallel — the assertOwned
 // guards turn a violation into a deterministic panic.
-func (e *Engine) NoteDeferredPromotion() { e.assertOwned("NoteDeferredPromotion"); e.DeferredPromotions++ }
+func (e *Engine) NoteDeferredPromotion() {
+	e.assertOwned("NoteDeferredPromotion")
+	e.DeferredPromotions++
+	if e.met != nil {
+		e.met.deferred.Inc()
+	}
+}
+
+// NoteDeferredPromotionTo records a deferred promotion with its pressured
+// destination, so the event log can attribute the deferral to a tier.
+func (e *Engine) NoteDeferredPromotionTo(dst tier.NodeID) {
+	e.NoteDeferredPromotion()
+	if e.met != nil {
+		e.met.reg.Emit(EventPromotionDeferred, e.Sys.Topo.Nodes[dst].Name, 0)
+	}
+}
 
 // NoteMigrationRetry records one retried page-copy attempt.
-func (e *Engine) NoteMigrationRetry() { e.assertOwned("NoteMigrationRetry"); e.MigrationRetries++ }
+func (e *Engine) NoteMigrationRetry() {
+	e.assertOwned("NoteMigrationRetry")
+	e.MigrationRetries++
+	if e.met != nil {
+		e.met.retries.Inc()
+	}
+}
+
+// NoteMigrationRetryAt records one retried page-copy attempt attributed to
+// its src→dst tier pair.
+func (e *Engine) NoteMigrationRetryAt(src, dst tier.NodeID) {
+	e.NoteMigrationRetry()
+	if e.met != nil {
+		pairCounter(e.met.retriedPages, src, dst).Inc()
+	}
+}
+
+// NoteMigrationBackoff records virtual backoff time charged while retrying
+// a copy on the src→dst pair. It only feeds the metrics layer; the time
+// itself is charged through ChargeMigration by the caller.
+func (e *Engine) NoteMigrationBackoff(src, dst tier.NodeID, d time.Duration) {
+	e.assertOwned("NoteMigrationBackoff")
+	if e.met != nil {
+		pairCounter(e.met.backoffNs, src, dst).AddDuration(d)
+	}
+}
 
 // MoveBegin opens a page-move transaction: room for the page is reserved
 // on dst while the page stays mapped on its source (copy-then-commit, the
@@ -108,10 +161,14 @@ func (e *Engine) MoveBegin(v *vm.VMA, idx int, dst tier.NodeID) bool {
 // is released and the page rebinds to dst.
 func (e *Engine) MoveCommit(v *vm.VMA, idx int, dst tier.NodeID) {
 	e.assertOwned("MoveCommit")
-	if src := v.Node(idx); src != vm.NoNode && src != dst {
+	src := v.Node(idx)
+	if src != vm.NoNode && src != dst {
 		e.Sys.Release(src, v.PageSize)
 	}
 	v.Place(idx, dst)
+	if e.met != nil {
+		pairCounter(e.met.movedPages, src, dst).Inc()
+	}
 }
 
 // MoveAborted rolls back a transaction opened by MoveBegin: the dst
@@ -122,6 +179,15 @@ func (e *Engine) MoveAborted(v *vm.VMA, idx int, dst tier.NodeID) {
 	e.Sys.Release(dst, v.PageSize)
 	e.MigrationAborts++
 	e.WastedBytes += v.PageSize
+	if e.met != nil {
+		src := v.Node(idx)
+		e.met.aborts.Inc()
+		e.met.wastedBytes.Add(v.PageSize)
+		pairCounter(e.met.abortedPages, src, dst).Inc()
+		if int(src) >= 0 && int(src) < len(e.met.pairName) {
+			e.met.reg.Emit(EventMigrationAbort, e.met.pairName[src][dst], int64(idx))
+		}
+	}
 }
 
 // ErrOutOfMemory is the sentinel for capacity exhaustion: every tier is
@@ -152,6 +218,14 @@ func (e *Engine) Err() error { return e.failed }
 func (e *Engine) fail(err error) {
 	if e.failed == nil {
 		e.failed = err
+		if e.met != nil {
+			e.met.oom.Inc()
+			if oe, ok := err.(*OOMError); ok {
+				e.met.reg.Emit(EventOOM, oe.VMA, int64(oe.Page))
+			} else {
+				e.met.reg.Emit(EventOOM, err.Error(), 0)
+			}
+		}
 	}
 }
 
@@ -178,6 +252,10 @@ func (e *Engine) emergencyReclaim(socket int, need int64) tier.NodeID {
 		}
 		if e.demoteColdest(cand, lower, need-e.Sys.Free(cand)) {
 			e.EmergencyDemotions++
+			if e.met != nil {
+				e.met.emergencies.Inc()
+				e.met.reg.Emit(EventEmergencyDemotion, e.Sys.Topo.Nodes[cand].Name, need)
+			}
 			return cand
 		}
 	}

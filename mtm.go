@@ -83,6 +83,13 @@ type Config struct {
 	// fixed-size and every shard draws from its own seeded stream — so
 	// this is purely a wall-clock knob. Negative values are invalid.
 	Parallelism int
+	// Metrics enables the in-process observability layer: counters,
+	// gauges, histograms, and the bounded event ring, sampled once per
+	// profiling interval and returned in Result.Metrics. Recording is
+	// deterministic (the export is part of the determinism-gate
+	// comparison); disabled, the run is bit-identical to a build without
+	// the metrics layer.
+	Metrics bool
 }
 
 // DefaultScale mirrors workload.DefaultScale.
@@ -170,6 +177,9 @@ func NewEngine(c Config) *sim.Engine {
 	e.Interval = c.Interval
 	e.KeepLog = c.KeepLog
 	e.Par = sim.NewPool(c.Parallelism)
+	if c.Metrics {
+		e.EnableMetrics()
+	}
 	if inj, err := fault.NewScenario(c.Faults, c.FaultSeed); err == nil && inj != nil {
 		e.SetFaultPlane(inj)
 	}

@@ -70,6 +70,26 @@ func TestParallelDeterminismMatrix(t *testing.T) {
 	}
 }
 
+// TestParallelDeterminismMetrics extends the invariant to metrics-enabled
+// runs: every instrument write happens on the serialized interval loop
+// (sharded phases accumulate into per-shard scratch merged in shard
+// order), so the exported counters, time series, and event ring must be
+// byte-identical at any Parallelism. The Metrics field rides inside
+// Result, so runPair's JSON comparison covers the whole export.
+func TestParallelDeterminismMetrics(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 512
+	cfg.OpsFactor = 0.25
+	cfg.Metrics = true
+	t.Run("gups/mtm", func(t *testing.T) { runPair(t, cfg, "gups", "mtm") })
+	t.Run("gups/tiered-autonuma", func(t *testing.T) { runPair(t, cfg, "gups", "tiered-autonuma") })
+	// Faulty variant: abort/retry events and fault-activation events must
+	// land in the ring in the same order regardless of worker count.
+	faulty := cfg
+	faulty.Faults = "ebusy-storm"
+	t.Run("gups/mtm/ebusy-storm", func(t *testing.T) { runPair(t, faulty, "gups", "mtm") })
+}
+
 // TestParallelDeterminismFaults extends the invariant to fault-injected
 // runs: the injector draws from its own stream, and the retry/abort
 // accounting of the transactional rebind loop is serialized, so injected
