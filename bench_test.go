@@ -134,7 +134,7 @@ func benchIntervalProfiler(b *testing.B, workers int) {
 }
 
 func BenchmarkIntervalSequential(b *testing.B) { benchIntervalProfiler(b, 1) }
-func BenchmarkIntervalParallel(b *testing.B)  { benchIntervalProfiler(b, 0) }
+func BenchmarkIntervalParallel(b *testing.B)   { benchIntervalProfiler(b, 0) }
 
 // BenchmarkMigrate2MBRegion measures the three mechanisms moving one 2 MB
 // region between the fastest and slowest tiers (the Figure 3 scenario).

@@ -52,7 +52,10 @@ type Summary struct {
 // Entry is one benchmark's summary.
 type Entry struct {
 	NsPerOp float64 `json:"ns_per_op"`
-	Runs    int     `json:"runs"`
+	// AllocsPerOp comes from -benchmem output (the minimum-ns/op line);
+	// informational only — the gate never compares it.
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	Runs        int     `json:"runs"`
 }
 
 const (
@@ -60,10 +63,11 @@ const (
 	parBench = "BenchmarkIntervalParallel"
 )
 
-// benchLine matches one `go test -bench` result line, e.g.
-// "BenchmarkIntervalParallel-4   3   311262 ns/op". The -N suffix is
-// go's GOMAXPROCS tag, not part of the benchmark's identity.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
+// benchLine matches one `go test -bench` result line, with or without the
+// -benchmem columns, e.g. "BenchmarkIntervalParallel-4   3   311262 ns/op
+// 1024 B/op   12 allocs/op". The -N suffix is go's GOMAXPROCS tag, not
+// part of the benchmark's identity.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
 
 func parse(r io.Reader) (*Summary, error) {
 	s := &Summary{Benchmarks: map[string]Entry{}}
@@ -81,6 +85,14 @@ func parse(r io.Reader) (*Summary, error) {
 		e := s.Benchmarks[m[1]]
 		if e.Runs == 0 || ns < e.NsPerOp {
 			e.NsPerOp = ns
+			// Keep the allocs figure from the same (min ns/op) line so
+			// the two columns describe one run.
+			e.AllocsPerOp = 0
+			if m[5] != "" {
+				if a, err := strconv.ParseFloat(m[5], 64); err == nil {
+					e.AllocsPerOp = a
+				}
+			}
 		}
 		e.Runs++
 		s.Benchmarks[m[1]] = e
@@ -150,8 +162,15 @@ func compare(cur, base *Summary, threshold, maxRatio float64) error {
 		case b.NsPerOp <= 0:
 			zero = append(zero, n)
 		default:
-			fmt.Printf("  %-40s current=%12.0f ns/op baseline=%12.0f ns/op (%+.1f%%)\n",
-				n, cur.Benchmarks[n].NsPerOp, b.NsPerOp, 100*(cur.Benchmarks[n].NsPerOp/b.NsPerOp-1))
+			c := cur.Benchmarks[n]
+			fmt.Printf("  %-40s current=%12.0f ns/op baseline=%12.0f ns/op (%+.1f%%)",
+				n, c.NsPerOp, b.NsPerOp, 100*(c.NsPerOp/b.NsPerOp-1))
+			if c.AllocsPerOp > 0 {
+				// Informational only; baselines without -benchmem data
+				// still gate cleanly.
+				fmt.Printf(" allocs=%.0f/op", c.AllocsPerOp)
+			}
+			fmt.Println()
 		}
 	}
 	if len(missing) > 0 {

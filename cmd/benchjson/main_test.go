@@ -13,8 +13,8 @@ cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkIntervalSequential 	       1	   5339979 ns/op
 BenchmarkIntervalSequential 	       1	   5100000 ns/op
 BenchmarkIntervalSequential 	       1	   5200000 ns/op
-BenchmarkIntervalParallel-4   	       1	   1500000 ns/op
-BenchmarkIntervalParallel-4   	       1	   1700000 ns/op
+BenchmarkIntervalParallel-4   	       1	   1500000 ns/op	  204800 B/op	     123 allocs/op
+BenchmarkIntervalParallel-4   	       1	   1700000 ns/op	  204800 B/op	     456 allocs/op
 BenchmarkGUPSInterval         	       2	    900000 ns/op
 PASS
 ok  	mtm	0.077s
@@ -35,6 +35,14 @@ func TestParseKeepsMinAndStripsSuffix(t *testing.T) {
 	}
 	if par.NsPerOp != 1500000 || par.Runs != 2 {
 		t.Fatalf("parallel entry %+v", par)
+	}
+	// -benchmem columns: allocs/op comes from the min-ns/op line; lines
+	// without the columns leave it at zero.
+	if par.AllocsPerOp != 123 {
+		t.Fatalf("allocs/op = %v, want 123 (from the min ns/op line)", par.AllocsPerOp)
+	}
+	if seq.AllocsPerOp != 0 {
+		t.Fatalf("allocs/op = %v for plain lines, want 0", seq.AllocsPerOp)
 	}
 	want := 1500000.0 / 5100000.0
 	if math.Abs(s.IntervalRatio-want) > 1e-9 {

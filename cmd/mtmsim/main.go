@@ -21,6 +21,16 @@
 // -metrics enables the observability layer and writes its export to the
 // given file; -metrics-format selects JSON (default) or Prometheus text
 // exposition format.
+//
+// -spans enables the deterministic span tracer and writes the trace to the
+// given file; -spans-format selects the self-describing JSONL stream
+// (default; the cmd/spanreport input) or Chrome trace-event JSON, loadable
+// in Perfetto (ui.perfetto.dev) or chrome://tracing. Span output is
+// byte-identical at every -parallel setting.
+//
+// -cpuprofile and -memprofile write runtime/pprof profiles of the
+// simulator itself (real host CPU/heap, not virtual time) for `go tool
+// pprof`.
 package main
 
 import (
@@ -29,8 +39,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"mtm"
+	"mtm/internal/span"
 )
 
 func main() {
@@ -54,6 +67,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonOut   = fs.Bool("json", false, "emit the result as JSON instead of the text report")
 		metrics   = fs.String("metrics", "", "enable the metrics layer and write its export to this file")
 		metricsFm = fs.String("metrics-format", "json", "metrics file format: json or prom")
+		spans     = fs.String("spans", "", "enable the span tracer and write the trace to this file")
+		spansFm   = fs.String("spans-format", "jsonl", "span file format: jsonl or chrome")
+		cpuProf   = fs.String("cpuprofile", "", "write a host CPU profile to this file")
+		memProf   = fs.String("memprofile", "", "write a host heap profile to this file")
 		list      = fs.Bool("list", false, "list workloads, solutions and fault scenarios")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -70,6 +87,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "mtmsim: invalid -metrics-format %q (want json or prom)\n", *metricsFm)
 		return 2
 	}
+	if *spansFm != "jsonl" && *spansFm != "chrome" {
+		fmt.Fprintf(stderr, "mtmsim: invalid -spans-format %q (want jsonl or chrome)\n", *spansFm)
+		return 2
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, err)
+			}
+		}()
+	}
 
 	cfg := mtm.DefaultConfig()
 	cfg.Scale = *scale
@@ -80,6 +132,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.Faults = *faults
 	cfg.Parallelism = *parallel
 	cfg.Metrics = *metrics != ""
+	if *spans != "" {
+		cfg.Trace = &span.Config{}
+	}
 
 	res, err := mtm.Run(cfg, *wl, *sol)
 	if err != nil && res == nil {
@@ -98,6 +153,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *metrics != "" {
 		if werr := writeMetrics(*metrics, *metricsFm, res); werr != nil {
+			fmt.Fprintln(stderr, werr)
+			return 1
+		}
+	}
+	if *spans != "" {
+		if werr := writeSpans(*spans, *spansFm, res); werr != nil {
 			fmt.Fprintln(stderr, werr)
 			return 1
 		}
@@ -169,6 +230,29 @@ func writeMetrics(path, format string, res *mtm.Result) error {
 		enc := json.NewEncoder(f)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(res.Metrics); err != nil {
+			return fmt.Errorf("mtmsim: writing %s: %w", path, err)
+		}
+	}
+	return f.Close()
+}
+
+// writeSpans writes the run's span trace to path in the requested format.
+func writeSpans(path, format string, res *mtm.Result) error {
+	if res.Spans == nil {
+		return fmt.Errorf("mtmsim: run produced no span trace")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("mtmsim: %w", err)
+	}
+	defer f.Close()
+	switch format {
+	case "chrome":
+		if err := res.Spans.WriteChrome(f); err != nil {
+			return fmt.Errorf("mtmsim: writing %s: %w", path, err)
+		}
+	default:
+		if err := res.Spans.WriteJSONL(f); err != nil {
 			return fmt.Errorf("mtmsim: writing %s: %w", path, err)
 		}
 	}

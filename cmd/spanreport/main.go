@@ -1,0 +1,276 @@
+// Command spanreport analyzes a JSONL span trace written by
+// `mtmsim -spans <file>` (or any span.Export.WriteJSONL output) and prints
+// the paper-style per-interval execution-time breakdown — app vs profiling
+// vs migration, per solution — reconstructed from the trace alone.
+//
+// Usage:
+//
+//	spanreport trace.jsonl
+//	spanreport -in trace.jsonl -explain
+//
+// -explain additionally prints one provenance line per migration decision:
+// which region was considered, the hotness estimate at that instant, the
+// policy rule that fired, the threshold it compared against, and the
+// outcome (destination and bytes for promote/demote; the reason for
+// skip/defer/stop).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"mtm/internal/span"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable CLI body: flags in, report out, exit code returned.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("spanreport", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		in      = fs.String("in", "", "input JSONL span trace (or pass as the positional argument)")
+		explain = fs.Bool("explain", false, "print a provenance line for every migration decision")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	path := *in
+	if path == "" && fs.NArg() == 1 {
+		path = fs.Arg(0)
+	}
+	if path == "" || fs.NArg() > 1 {
+		fmt.Fprintln(stderr, "usage: spanreport [-explain] [-in] <trace.jsonl>")
+		return 2
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "spanreport:", err)
+		return 1
+	}
+	defer f.Close()
+	rep, err := analyze(f)
+	if err != nil {
+		fmt.Fprintf(stderr, "spanreport: %s: %v\n", path, err)
+		return 1
+	}
+	rep.write(stdout, *explain)
+	return 0
+}
+
+// line mirrors the JSONL span schema (span.Export.WriteJSONL).
+type line struct {
+	Interval int            `json:"interval"`
+	Cat      string         `json:"cat"`
+	Name     string         `json:"name"`
+	TsNs     int64          `json:"ts_ns"`
+	DurNs    int64          `json:"dur_ns"`
+	Attrs    map[string]any `json:"attrs"`
+}
+
+// intervalRow is one interval's phase breakdown, summed from "phase" spans.
+type intervalRow struct {
+	App, Profiling, Migration time.Duration
+	PromotedBytes             int64
+	DemotedBytes              int64
+	BackgroundNs              int64
+	Accesses                  int64
+}
+
+// decision is one migration-decision provenance event.
+type decision struct {
+	Interval  int
+	Outcome   string // promote, demote, skip, defer, stop
+	Rule      string
+	VMA       string
+	PageStart int64
+	PageEnd   int64
+	WHI       float64
+	Threshold float64
+	HasThresh bool
+	Dst       string
+	Bytes     int64
+}
+
+// report is the analyzed trace.
+type report struct {
+	Meta      map[string]string
+	Intervals map[int]*intervalRow
+	Decisions []decision
+	Dropped   int64
+	Spans     int
+}
+
+// Totals sums the per-interval phase durations.
+func (rep *report) Totals() (app, prof, mig time.Duration) {
+	for _, row := range rep.Intervals {
+		app += row.App
+		prof += row.Profiling
+		mig += row.Migration
+	}
+	return
+}
+
+// analyze reads a JSONL span stream and aggregates the per-interval phase
+// breakdown plus the decision event list.
+func analyze(r io.Reader) (*report, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("empty trace")
+	}
+	meta, spans, dropped, err := span.ReadJSONLHeader(sc.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	rep := &report{
+		Meta:      meta,
+		Intervals: make(map[int]*intervalRow),
+		Dropped:   dropped,
+		Spans:     spans,
+	}
+	for sc.Scan() {
+		var l line
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			return nil, fmt.Errorf("bad span line: %w", err)
+		}
+		switch l.Cat {
+		case "phase":
+			row := rep.Intervals[l.Interval]
+			if row == nil {
+				row = &intervalRow{}
+				rep.Intervals[l.Interval] = row
+			}
+			switch l.Name {
+			case "app":
+				row.App += time.Duration(l.DurNs)
+				row.Accesses += attrInt(l.Attrs, "accesses")
+			case "profiling":
+				row.Profiling += time.Duration(l.DurNs)
+			case "migration":
+				row.Migration += time.Duration(l.DurNs)
+				row.PromotedBytes += attrInt(l.Attrs, "promoted_bytes")
+				row.DemotedBytes += attrInt(l.Attrs, "demoted_bytes")
+				row.BackgroundNs += attrInt(l.Attrs, "background_ns")
+			}
+		case "decision":
+			d := decision{
+				Interval:  l.Interval,
+				Outcome:   l.Name,
+				Rule:      attrString(l.Attrs, "rule"),
+				VMA:       attrString(l.Attrs, "vma"),
+				PageStart: attrInt(l.Attrs, "page_start"),
+				PageEnd:   attrInt(l.Attrs, "page_end"),
+				WHI:       attrFloat(l.Attrs, "whi"),
+				Dst:       attrString(l.Attrs, "dst"),
+				Bytes:     attrInt(l.Attrs, "bytes"),
+			}
+			if v, ok := l.Attrs["threshold"]; ok {
+				if f, ok := v.(float64); ok {
+					d.Threshold, d.HasThresh = f, true
+				}
+			}
+			rep.Decisions = append(rep.Decisions, d)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+func attrInt(m map[string]any, key string) int64 {
+	if v, ok := m[key].(float64); ok {
+		return int64(v)
+	}
+	return 0
+}
+
+func attrFloat(m map[string]any, key string) float64 {
+	if v, ok := m[key].(float64); ok {
+		return v
+	}
+	return 0
+}
+
+func attrString(m map[string]any, key string) string {
+	if v, ok := m[key].(string); ok {
+		return v
+	}
+	return ""
+}
+
+// write renders the report: per-interval breakdown, totals, and — with
+// explain — the decision provenance log.
+func (rep *report) write(w io.Writer, explain bool) {
+	fmt.Fprintf(w, "solution:  %s\n", rep.Meta["solution"])
+	fmt.Fprintf(w, "workload:  %s\n", rep.Meta["workload"])
+	fmt.Fprintf(w, "intervals: %d (%d spans", len(rep.Intervals), rep.Spans)
+	if rep.Dropped > 0 {
+		fmt.Fprintf(w, ", %d dropped", rep.Dropped)
+	}
+	fmt.Fprintln(w, ")")
+	fmt.Fprintln(w)
+
+	fmt.Fprintf(w, "%8s %14s %14s %14s %7s %7s %10s %10s\n",
+		"interval", "app", "profiling", "migration", "prof%", "mig%", "promoted", "demoted")
+	keys := make([]int, 0, len(rep.Intervals))
+	for k := range rep.Intervals {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		row := rep.Intervals[k]
+		total := row.App + row.Profiling + row.Migration
+		fmt.Fprintf(w, "%8d %14v %14v %14v %6.1f%% %6.1f%% %9dK %9dK\n",
+			k, row.App, row.Profiling, row.Migration,
+			pct(row.Profiling, total), pct(row.Migration, total),
+			row.PromotedBytes>>10, row.DemotedBytes>>10)
+	}
+	app, prof, mig := rep.Totals()
+	total := app + prof + mig
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "exec time:  %v (virtual)\n", total)
+	fmt.Fprintf(w, "  app:       %v\n", app)
+	fmt.Fprintf(w, "  profiling: %v (%.1f%%)\n", prof, pct(prof, total))
+	fmt.Fprintf(w, "  migration: %v (%.1f%%)\n", mig, pct(mig, total))
+
+	if !explain {
+		return
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "decisions: %d\n", len(rep.Decisions))
+	for _, d := range rep.Decisions {
+		fmt.Fprintf(w, "  [%4d] %-7s %s pages %d-%d whi=%.4g rule=%s",
+			d.Interval, d.Outcome, d.VMA, d.PageStart, d.PageEnd, d.WHI, d.Rule)
+		if d.HasThresh {
+			fmt.Fprintf(w, " threshold=%.4g", d.Threshold)
+		}
+		if d.Dst != "" {
+			fmt.Fprintf(w, " dst=%s", d.Dst)
+		}
+		if d.Bytes > 0 {
+			fmt.Fprintf(w, " bytes=%d", d.Bytes)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func pct(part, whole time.Duration) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}

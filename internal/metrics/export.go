@@ -109,6 +109,15 @@ func escapeLabelValue(v string) string {
 	return strings.ReplaceAll(v, "\n", `\n`)
 }
 
+// escapeHelp escapes HELP text per the Prometheus text format: only
+// backslash and newline (quotes stay literal in HELP, unlike label
+// values). An unescaped newline would split the docstring into a second
+// exposition line and corrupt the stream.
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
 func formatValue(v float64) string {
 	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
 		return strconv.FormatInt(int64(v), 10)
@@ -141,7 +150,7 @@ func (x *Export) WriteProm(w io.Writer) error {
 	for _, in := range x.Instruments {
 		if in.Name != lastName {
 			if in.Help != "" {
-				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", in.Name, in.Help); err != nil {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", in.Name, escapeHelp(in.Help)); err != nil {
 					return err
 				}
 			}

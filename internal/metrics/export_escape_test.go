@@ -1,0 +1,36 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"mtm/internal/promlint"
+)
+
+// TestWritePromEscapesHelp is the regression test for the HELP-verbatim
+// bug: a docstring containing a newline or backslash must be escaped per
+// the text exposition format, or the newline splits the comment into a
+// bogus second line that parsers read as a malformed sample.
+func TestWritePromEscapesHelp(t *testing.T) {
+	x := &Export{Instruments: []InstrumentExport{{
+		Name:  "mtm_test_total",
+		Kind:  "counter",
+		Help:  "line one\nline two with a \\ backslash",
+		Value: 3,
+	}}}
+	var b strings.Builder
+	if err := x.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := `# HELP mtm_test_total line one\nline two with a \\ backslash`
+	if !strings.Contains(out, want) {
+		t.Errorf("HELP not escaped:\n%s", out)
+	}
+	if strings.Count(out, "\n") != 3 { // HELP, TYPE, sample
+		t.Errorf("raw newline leaked into the exposition:\n%q", out)
+	}
+	if err := promlint.Lint(strings.NewReader(out)); err != nil {
+		t.Errorf("escaped exposition does not lint: %v\n%s", err, out)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"mtm/internal/sim"
+	"mtm/internal/span"
 	"mtm/internal/tier"
 	"mtm/internal/vm"
 )
@@ -251,6 +252,15 @@ type rebindResult struct {
 	aborts     int64
 	waste      time.Duration // busy attempts + backoffs + aborted copies
 	wasteBytes int64         // bytes copied then thrown away by aborts
+
+	// Per-source provenance for the span trace (nil unless tracing is
+	// enabled): pages moved, copy attempts retried, virtual backoff time,
+	// and aborted transactions, each attributed to the page's source node
+	// so every src→dst transfer span carries its own retry story.
+	srcPages     []int64
+	srcRetries   []int64
+	srcBackoffNs []int64
+	srcAborts    []int64
 }
 
 // rebind moves the candidate pages one by one until dst runs out of space
@@ -266,7 +276,14 @@ type rebindResult struct {
 // engine's serialized move accounting.
 func rebind(e *sim.Engine, v *vm.VMA, cand []int, dst tier.NodeID, maxPages int, rp RetryPolicy) rebindResult {
 	rp = rp.norm()
-	res := rebindResult{srcBytes: make([]int64, len(e.Sys.Topo.Nodes))}
+	nNodes := len(e.Sys.Topo.Nodes)
+	res := rebindResult{srcBytes: make([]int64, nNodes)}
+	if e.SpansEnabled() {
+		res.srcPages = make([]int64, nNodes)
+		res.srcRetries = make([]int64, nNodes)
+		res.srcBackoffNs = make([]int64, nNodes)
+		res.srcAborts = make([]int64, nNodes)
+	}
 	attempted := 0
 	for _, i := range cand {
 		if maxPages > 0 && attempted >= maxPages {
@@ -291,6 +308,10 @@ func rebind(e *sim.Engine, v *vm.VMA, cand []int, dst tier.NodeID, maxPages int,
 				backoff := rp.Backoff(attempt)
 				res.waste += backoff
 				e.NoteMigrationBackoff(src, dst, backoff)
+				if res.srcRetries != nil {
+					res.srcRetries[src]++
+					res.srcBackoffNs[src] += int64(backoff)
+				}
 			}
 		}
 		if !ok {
@@ -300,6 +321,9 @@ func rebind(e *sim.Engine, v *vm.VMA, cand []int, dst tier.NodeID, maxPages int,
 			e.MoveAborted(v, i, dst)
 			res.aborts++
 			res.wasteBytes += v.PageSize
+			if res.srcAborts != nil {
+				res.srcAborts[src]++
+			}
 			res.waste += copyTime(v.PageSize, pairBW(e, src, dst))
 			e.Sys.RecordTransfer(src, v.PageSize)
 			e.Sys.RecordTransfer(dst, v.PageSize)
@@ -309,6 +333,9 @@ func rebind(e *sim.Engine, v *vm.VMA, cand []int, dst tier.NodeID, maxPages int,
 		res.moved++
 		res.bytes += v.PageSize
 		res.srcBytes[src] += v.PageSize
+		if res.srcPages != nil {
+			res.srcPages[src]++
+		}
 		e.Sys.RecordTransfer(src, v.PageSize)
 		e.Sys.RecordTransfer(dst, v.PageSize)
 	}
@@ -325,6 +352,59 @@ func (r rebindResult) robustness(rep *Report) time.Duration {
 	return r.waste
 }
 
+// beginMigrationSpan opens the mechanism's migration span at the current
+// virtual timestamp and returns that timestamp for the transfer-span
+// cursor. Callers must only invoke it when e.SpansEnabled().
+func beginMigrationSpan(e *sim.Engine, name string, v *vm.VMA, start, end int, dst tier.NodeID, maxPages int) int64 {
+	startNs := e.SpanClockNs()
+	e.SpanBegin("migration", name,
+		span.S("vma", v.Name),
+		span.I("page_start", int64(start)),
+		span.I("page_end", int64(end)),
+		span.S("dst", e.Sys.Topo.Nodes[dst].Name),
+		span.I("max_pages", int64(maxPages)))
+	return startNs
+}
+
+func srcAt(a []int64, i int) int64 {
+	if a == nil {
+		return 0
+	}
+	return a[i]
+}
+
+// endMigrationSpan emits one transfer child span per source tier that
+// contributed pages (or retries/aborts) to the move — annotated with the
+// pair's retry count, backoff time, and aborts — then closes the
+// mechanism span with the report summary. The transfer spans are laid
+// end to end from the mechanism's start, each sized by its pair-bandwidth
+// copy time; callers must only invoke it when e.SpansEnabled().
+func endMigrationSpan(e *sim.Engine, startNs int64, rb rebindResult, rep *Report, dst tier.NodeID) {
+	cur := startNs
+	for src := range rb.srcBytes {
+		if rb.srcBytes[src] == 0 && srcAt(rb.srcRetries, src) == 0 && srcAt(rb.srcAborts, src) == 0 {
+			continue
+		}
+		d := int64(copyTime(rb.srcBytes[src], pairBW(e, tier.NodeID(src), dst)))
+		e.SpanEmit("migration", "transfer", cur, d,
+			span.S("src", e.Sys.Topo.Nodes[src].Name),
+			span.S("dst", e.Sys.Topo.Nodes[dst].Name),
+			span.I("pages", srcAt(rb.srcPages, src)),
+			span.I("bytes", rb.srcBytes[src]),
+			span.I("retries", srcAt(rb.srcRetries, src)),
+			span.I("backoff_ns", srcAt(rb.srcBackoffNs, src)),
+			span.I("aborts", srcAt(rb.srcAborts, src)))
+		cur += d
+	}
+	e.SpanEnd(
+		span.I("moved_pages", int64(rep.MovedPages)),
+		span.I("bytes", rep.Bytes),
+		span.I("critical_ns", int64(rep.Critical)),
+		span.I("background_ns", int64(rep.Background)),
+		span.I("retries", rep.Retries),
+		span.I("aborts", rep.Aborts))
+}
+
 // MovePages models Linux move_pages(): the four steps run sequentially on
 // the calling thread, the copy is single-threaded, and THP mappings are
 // split so every 4 KB page pays per-PTE costs (§7.1).
@@ -337,6 +417,11 @@ type MovePages struct {
 func (MovePages) Name() string { return "move_pages" }
 
 func (m MovePages) Migrate(e *sim.Engine, v *vm.VMA, start, end int, dst tier.NodeID, maxPages int) Report {
+	spanning := e.SpansEnabled()
+	var spanStart int64
+	if spanning {
+		spanStart = beginMigrationSpan(e, m.Name(), v, start, end, dst, maxPages)
+	}
 	cand, _ := spanCandidates(e, v, start, end, dst)
 	rb := rebind(e, v, cand, dst, maxPages, m.Retry)
 	var rep Report
@@ -345,6 +430,9 @@ func (m MovePages) Migrate(e *sim.Engine, v *vm.VMA, start, end int, dst tier.No
 		if waste > 0 {
 			e.ChargeMigration(waste)
 			rep.Critical = waste
+		}
+		if spanning {
+			endMigrationSpan(e, spanStart, rb, &rep, dst)
 		}
 		return rep
 	}
@@ -361,6 +449,9 @@ func (m MovePages) Migrate(e *sim.Engine, v *vm.VMA, start, end int, dst tier.No
 	rep.Bytes = rb.bytes
 	rep.Critical = st.Total() + waste
 	rep.CriticalSteps = st
+	if spanning {
+		endMigrationSpan(e, spanStart, rb, &rep, dst)
+	}
 	return rep
 }
 
@@ -377,6 +468,11 @@ type Nimble struct {
 func (Nimble) Name() string { return "nimble" }
 
 func (m Nimble) Migrate(e *sim.Engine, v *vm.VMA, start, end int, dst tier.NodeID, maxPages int) Report {
+	spanning := e.SpansEnabled()
+	var spanStart int64
+	if spanning {
+		spanStart = beginMigrationSpan(e, m.Name(), v, start, end, dst, maxPages)
+	}
 	cand, _ := spanCandidates(e, v, start, end, dst)
 	rb := rebind(e, v, cand, dst, maxPages, m.Retry)
 	var rep Report
@@ -385,6 +481,9 @@ func (m Nimble) Migrate(e *sim.Engine, v *vm.VMA, start, end int, dst tier.NodeI
 		if waste > 0 {
 			e.ChargeMigration(waste)
 			rep.Critical = waste
+		}
+		if spanning {
+			endMigrationSpan(e, spanStart, rb, &rep, dst)
 		}
 		return rep
 	}
@@ -401,6 +500,9 @@ func (m Nimble) Migrate(e *sim.Engine, v *vm.VMA, start, end int, dst tier.NodeI
 	rep.Bytes = rb.bytes
 	rep.Critical = st.Total() + waste
 	rep.CriticalSteps = st
+	if spanning {
+		endMigrationSpan(e, spanStart, rb, &rep, dst)
+	}
 	return rep
 }
 
@@ -435,6 +537,11 @@ func (a *Adaptive) Name() string {
 }
 
 func (a *Adaptive) Migrate(e *sim.Engine, v *vm.VMA, start, end int, dst tier.NodeID, maxPages int) Report {
+	spanning := e.SpansEnabled()
+	var spanStart int64
+	if spanning {
+		spanStart = beginMigrationSpan(e, a.Name(), v, start, end, dst, maxPages)
+	}
 	// The prescan estimates the region's write rate BEFORE rebinding
 	// (counters are per-interval; rebinding doesn't change them, but
 	// order keeps the estimate tied to the pages actually moved).
@@ -446,6 +553,9 @@ func (a *Adaptive) Migrate(e *sim.Engine, v *vm.VMA, start, end int, dst tier.No
 		if waste > 0 {
 			e.ChargeMigration(waste)
 			rep.Critical = waste
+		}
+		if spanning {
+			endMigrationSpan(e, spanStart, rb, &rep, dst)
 		}
 		return rep
 	}
@@ -468,6 +578,9 @@ func (a *Adaptive) Migrate(e *sim.Engine, v *vm.VMA, start, end int, dst tier.No
 		rep.Critical = crit.Total() + waste
 		rep.CriticalSteps = crit
 		e.ChargeMigration(rep.Critical)
+		if spanning {
+			endMigrationSpan(e, spanStart, rb, &rep, dst)
+		}
 		return rep
 	}
 
@@ -510,6 +623,9 @@ func (a *Adaptive) Migrate(e *sim.Engine, v *vm.VMA, start, end int, dst tier.No
 	if rep.ExtraCopyBytes > 0 {
 		e.Sys.RecordTransfer(srcNode, rep.ExtraCopyBytes)
 		e.Sys.RecordTransfer(dst, rep.ExtraCopyBytes)
+	}
+	if spanning {
+		endMigrationSpan(e, spanStart, rb, &rep, dst)
 	}
 	return rep
 }

@@ -5,6 +5,7 @@ import (
 	"mtm/internal/profiler"
 	"mtm/internal/region"
 	"mtm/internal/sim"
+	"mtm/internal/span"
 	"mtm/internal/tier"
 	"mtm/internal/vm"
 )
@@ -74,9 +75,28 @@ func (p *TieredAutoNUMA) IntervalEnd(e *sim.Engine) {
 	regions := p.prof.Regions()
 	budget := p.MigrateBudget + p.carry
 	var promoted int64
+	spanning := e.SpansEnabled()
+	// The vanilla variant classifies on "any access this window"; the
+	// patched one compares WHI to the auto-adjusted threshold.
+	threshold := p.hotThreshold
+	if !p.Patched {
+		threshold = 0
+	}
+	if spanning {
+		e.SpanBegin("policy", "plan",
+			span.S("policy", p.Name()),
+			span.I("regions", int64(len(regions))),
+			span.F("hot_threshold", threshold),
+			span.I("budget", budget))
+		defer e.SpanEnd()
+	}
 
 	for _, r := range regions {
 		if budget <= 0 {
+			if spanning {
+				spanDecision(e, "stop", "budget-exhausted", r,
+					span.I("budget", p.MigrateBudget+p.carry))
+			}
 			break
 		}
 		hot := r.WHI > p.hotThreshold
@@ -114,6 +134,10 @@ func (p *TieredAutoNUMA) IntervalEnd(e *sim.Engine) {
 			p.demoteFor(e, regions, dst, need-e.Sys.Free(dst), view)
 		}
 		if e.Sys.Free(dst) < need {
+			if spanning {
+				spanDecision(e, "skip", "no-room", r,
+					span.S("dst", nodeName(e, dst)))
+			}
 			continue
 		}
 		rep := p.mech.Migrate(e, r.V, r.Start, r.Start+pages, dst, 0)
@@ -121,6 +145,12 @@ func (p *TieredAutoNUMA) IntervalEnd(e *sim.Engine) {
 			budget -= rep.Bytes
 			promoted += rep.Bytes
 			e.NotePromotion(rep.Bytes)
+			if spanning {
+				spanDecision(e, "promote", "hot-threshold", r,
+					span.F("threshold", threshold),
+					span.S("dst", nodeName(e, dst)),
+					span.I("bytes", rep.Bytes))
+			}
 		}
 	}
 
@@ -174,6 +204,11 @@ func (p *TieredAutoNUMA) demoteFor(e *sim.Engine, regions []*region.Region, dst 
 		if rep.Bytes > 0 {
 			freed += rep.Bytes
 			e.NoteDemotion(rep.Bytes)
+			if e.SpansEnabled() {
+				spanDecision(e, "demote", "lru-coldest", r,
+					span.S("dst", nodeName(e, lower)),
+					span.I("bytes", rep.Bytes))
+			}
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"mtm/internal/profiler"
 	"mtm/internal/region"
 	"mtm/internal/sim"
+	"mtm/internal/span"
 	"mtm/internal/tier"
 	"mtm/internal/vm"
 )
@@ -54,6 +55,14 @@ func (p *AutoTiering) IntervalEnd(e *sim.Engine) {
 	p.prof.Profile(e)
 	regions := p.prof.Regions()
 	budget := p.MigrateBudget + p.carry
+	spanning := e.SpansEnabled()
+	if spanning {
+		e.SpanBegin("policy", "plan",
+			span.S("policy", p.Name()),
+			span.I("regions", int64(len(regions))),
+			span.I("budget", budget))
+		defer e.SpanEnd()
+	}
 	defer func() {
 		p.carry = budget
 		if p.carry > 4*p.MigrateBudget {
@@ -66,6 +75,10 @@ func (p *AutoTiering) IntervalEnd(e *sim.Engine) {
 
 	for _, r := range regions {
 		if budget <= 0 {
+			if spanning {
+				spanDecision(e, "stop", "budget-exhausted", r,
+					span.I("budget", p.MigrateBudget+p.carry))
+			}
 			return
 		}
 		// Candidate = sampled this interval and accessed at all.
@@ -104,6 +117,12 @@ func (p *AutoTiering) IntervalEnd(e *sim.Engine) {
 			if rep.Bytes > 0 {
 				budget -= rep.Bytes
 				e.NotePromotion(rep.Bytes)
+				if spanning {
+					spanDecision(e, "promote", "sampled-recent", r,
+						span.F("threshold", 0),
+						span.S("dst", nodeName(e, dst)),
+						span.I("bytes", rep.Bytes))
+				}
 			}
 			break
 		}
@@ -145,6 +164,11 @@ func (p *AutoTiering) opportunisticDemote(e *sim.Engine, regions []*region.Regio
 		if rep.Bytes > 0 {
 			freed += rep.Bytes
 			e.NoteDemotion(rep.Bytes)
+			if e.SpansEnabled() {
+				spanDecision(e, "demote", "opportunistic", r,
+					span.S("dst", nodeName(e, lower)),
+					span.I("bytes", rep.Bytes))
+			}
 		}
 	}
 }

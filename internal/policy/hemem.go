@@ -7,6 +7,7 @@ import (
 	"mtm/internal/pebs"
 	"mtm/internal/region"
 	"mtm/internal/sim"
+	"mtm/internal/span"
 	"mtm/internal/tier"
 	"mtm/internal/vm"
 )
@@ -85,7 +86,13 @@ func (p *HeMem) IntervalEnd(e *sim.Engine) {
 	}
 	// Sample handling cost (HeMem's profiling is cheap; that is its
 	// selling point and its weakness).
-	e.ChargeProfiling(time.Duration(len(samples)) * 200 * time.Nanosecond)
+	handling := time.Duration(len(samples)) * 200 * time.Nanosecond
+	spanning := e.SpansEnabled()
+	if spanning {
+		e.SpanEmit("profiling", "pebs-sampling", e.SpanClockNs(), int64(handling),
+			span.I("samples", int64(len(samples))))
+	}
+	e.ChargeProfiling(handling)
 
 	// Exponential cooling, as in HeMem's hotset maintenance.
 	for _, r := range regions {
@@ -97,6 +104,13 @@ func (p *HeMem) IntervalEnd(e *sim.Engine) {
 	}
 
 	budget := p.MigrateBudget + p.carry
+	if spanning {
+		e.SpanBegin("policy", "plan",
+			span.S("policy", p.Name()),
+			span.I("regions", int64(len(regions))),
+			span.I("budget", budget))
+		defer e.SpanEnd()
+	}
 	defer func() {
 		p.carry = budget
 		if p.carry > 4*p.MigrateBudget {
@@ -127,9 +141,17 @@ func (p *HeMem) IntervalEnd(e *sim.Engine) {
 	hist := buildHistogram(regions)
 	for _, r := range hist.HottestFirst() {
 		if budget <= 0 {
+			if spanning {
+				spanDecision(e, "stop", "budget-exhausted", r,
+					span.I("budget", p.MigrateBudget+p.carry))
+			}
 			break
 		}
 		if r.WHI < float64(p.HotSamples) {
+			if spanning {
+				spanDecision(e, "stop", "cold-cutoff", r,
+					span.F("threshold", float64(p.HotSamples)))
+			}
 			break
 		}
 		if nodeOf(r) != pm {
@@ -146,6 +168,12 @@ func (p *HeMem) IntervalEnd(e *sim.Engine) {
 		if rep.Bytes > 0 {
 			budget -= rep.Bytes
 			e.NotePromotion(rep.Bytes)
+			if spanning {
+				spanDecision(e, "promote", "hot-samples", r,
+					span.F("threshold", float64(p.HotSamples)),
+					span.S("dst", nodeName(e, dram)),
+					span.I("bytes", rep.Bytes))
+			}
 		}
 	}
 }
@@ -167,6 +195,11 @@ func (p *HeMem) demoteCold(e *sim.Engine, hist *region.Histogram, dram, pm tier.
 		if rep.Bytes > 0 {
 			freed += rep.Bytes
 			e.NoteDemotion(rep.Bytes)
+			if e.SpansEnabled() {
+				spanDecision(e, "demote", "coldest-first", r,
+					span.S("dst", nodeName(e, pm)),
+					span.I("bytes", rep.Bytes))
+			}
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"mtm/internal/region"
 	"mtm/internal/shm"
 	"mtm/internal/sim"
+	"mtm/internal/span"
 	"mtm/internal/tier"
 	"mtm/internal/vm"
 )
@@ -95,6 +96,13 @@ func (p *MTM) IntervalEnd(e *sim.Engine) {
 		_ = p.Shm.Publish(t)
 	}
 	hist := buildHistogram(regions)
+	if e.SpansEnabled() {
+		e.SpanBegin("policy", "plan",
+			span.S("policy", p.label),
+			span.I("regions", int64(len(regions))),
+			span.I("budget", p.MigrateBudget+p.carry))
+		defer e.SpanEnd()
+	}
 	p.promote(e, hist)
 }
 
@@ -107,12 +115,21 @@ func (p *MTM) promote(e *sim.Engine, hist *region.Histogram) {
 	budget := p.MigrateBudget + p.carry
 	spent := int64(0)
 	demoteBudget := p.DemoteCap
+	spanning := e.SpansEnabled()
 	for _, r := range hist.HottestFirst() {
 		if budget-spent < r.V.PageSize {
+			if spanning {
+				spanDecision(e, "stop", "budget-exhausted", r,
+					span.I("budget", budget), span.I("spent", spent))
+			}
 			break
 		}
 		if r.WHI <= 0 {
-			break // everything hotter is placed; the rest is cold
+			// Everything hotter is placed; the rest is cold.
+			if spanning {
+				spanDecision(e, "stop", "cold-cutoff", r, span.F("threshold", 0))
+			}
+			break
 		}
 		socket := regionSocket(e, r)
 		view := e.Sys.Topo.View(socket)
@@ -128,7 +145,11 @@ func (p *MTM) promote(e *sim.Engine, hist *region.Histogram) {
 			}
 		}
 		if worstRank <= 0 {
-			continue // already in the fastest tier for its accessors
+			// Already in the fastest tier for its accessors.
+			if spanning {
+				spanDecision(e, "skip", "already-fastest", r)
+			}
+			continue
 		}
 		maxPages := int((budget - spent) / r.V.PageSize)
 		// Fast promotion: straight to the top tier, then 2nd-fastest,
@@ -142,6 +163,10 @@ func (p *MTM) promote(e *sim.Engine, hist *region.Histogram) {
 				// region stays eligible and the unused budget carries into
 				// the next interval.
 				e.NoteDeferredPromotionTo(dst)
+				if spanning {
+					spanDecision(e, "defer", "admission-control", r,
+						span.S("dst", nodeName(e, dst)))
+				}
 				continue
 			}
 			need := int64(minInt(maxPages, r.Pages())) * r.V.PageSize
@@ -150,12 +175,24 @@ func (p *MTM) promote(e *sim.Engine, hist *region.Histogram) {
 				demoteBudget -= demoted
 			}
 			if e.Sys.Free(dst) < r.V.PageSize {
-				continue // try the next-fastest tier
+				// Slow demotion could not make room; try the next-fastest
+				// tier.
+				if spanning {
+					spanDecision(e, "skip", "no-room", r,
+						span.S("dst", nodeName(e, dst)))
+				}
+				continue
 			}
 			rep := p.Mech.Migrate(e, r.V, r.Start, r.End, dst, maxPages)
 			if rep.Bytes > 0 {
 				spent += rep.Bytes
 				e.NotePromotion(rep.Bytes)
+				if spanning {
+					spanDecision(e, "promote", "fast-promotion", r,
+						span.F("threshold", 0),
+						span.S("dst", nodeName(e, dst)),
+						span.I("bytes", rep.Bytes))
+				}
 			}
 			break
 		}
@@ -179,13 +216,20 @@ func (p *MTM) makeRoom(e *sim.Engine, hist *region.Histogram, node tier.NodeID, 
 		return 0
 	}
 	nodeRank := rankOf(view, node)
+	spanning := e.SpansEnabled()
 	var demoted int64
 	for _, r := range hist.ColdestFirst() {
 		if demoted >= need || demoted >= budget {
 			break
 		}
 		if r.WHI >= candidateWHI {
-			break // only hotter-or-equal regions remain on this node
+			// Only hotter-or-equal regions remain on this node; slow
+			// demotion never evicts them for a colder candidate.
+			if spanning {
+				spanDecision(e, "stop", "victim-too-hot", r,
+					span.F("threshold", candidateWHI))
+			}
+			break
 		}
 		if nodeOf(r) != node {
 			continue
@@ -212,6 +256,12 @@ func (p *MTM) makeRoom(e *sim.Engine, hist *region.Histogram, node tier.NodeID, 
 		if rep.Bytes > 0 {
 			demoted += rep.Bytes
 			e.NoteDemotion(rep.Bytes)
+			if spanning {
+				spanDecision(e, "demote", "slow-demotion", r,
+					span.F("threshold", candidateWHI),
+					span.S("dst", nodeName(e, dst)),
+					span.I("bytes", rep.Bytes))
+			}
 		}
 	}
 	return demoted

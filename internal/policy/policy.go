@@ -9,6 +9,7 @@ import (
 	"mtm/internal/profiler"
 	"mtm/internal/region"
 	"mtm/internal/sim"
+	"mtm/internal/span"
 	"mtm/internal/tier"
 	"mtm/internal/vm"
 )
@@ -121,3 +122,28 @@ func buildHistogram(regions []*region.Region) *region.Histogram {
 
 // nodeOf returns the node currently holding region r, or Invalid.
 func nodeOf(r *region.Region) tier.NodeID { return profiler.RegionNode(r) }
+
+// nodeName resolves a node's display name for span attributes.
+func nodeName(e *sim.Engine, n tier.NodeID) string {
+	if int(n) < 0 || int(n) >= len(e.Sys.Topo.Nodes) {
+		return ""
+	}
+	return e.Sys.Topo.Nodes[n].Name
+}
+
+// spanDecision emits one migration-decision provenance event. The event
+// name is the outcome ("promote", "demote", "skip", "defer", "stop");
+// rule names the policy clause that fired, and the base payload carries
+// the region's identity and hotness estimate. Callers append the
+// threshold compared and the outcome details (dst, bytes) and must guard
+// on e.SpansEnabled() before building the extra attribute list.
+func spanDecision(e *sim.Engine, outcome, rule string, r *region.Region, attrs ...span.Attr) {
+	base := []span.Attr{
+		span.S("rule", rule),
+		span.S("vma", r.V.Name),
+		span.I("page_start", int64(r.Start)),
+		span.I("page_end", int64(r.End)),
+		span.F("whi", r.WHI),
+	}
+	e.SpanEvent("decision", outcome, append(base, attrs...)...)
+}

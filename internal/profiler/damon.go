@@ -5,6 +5,7 @@ import (
 
 	"mtm/internal/region"
 	"mtm/internal/sim"
+	"mtm/internal/span"
 	"mtm/internal/vm"
 )
 
@@ -114,6 +115,11 @@ func (d *DAMON) Regions() []*region.Region {
 func (d *DAMON) Profile(e *sim.Engine) {
 	d.set.BeginInterval()
 	regions := d.set.Regions()
+	spanning := e.SpansEnabled()
+	if spanning {
+		e.SpanBegin("profiling", "damon-profile",
+			span.I("regions", int64(len(regions))))
+	}
 
 	// One random page per region, ChecksPerInterval access-bit checks.
 	for _, r := range regions {
@@ -128,6 +134,11 @@ func (d *DAMON) Profile(e *sim.Engine) {
 	}
 	n := int64(len(regions) * d.Cfg.ChecksPerInterval)
 	d.scans += n
+	if spanning {
+		e.SpanEmit("profiling", "access-bit-checks", e.SpanClockNs(),
+			int64(time.Duration(n)*OneScanOverhead),
+			span.I("checks", n))
+	}
 	e.ChargeProfiling(time.Duration(n) * OneScanOverhead)
 	d.pm.scanNs.AddDuration(time.Duration(n) * OneScanOverhead)
 	d.pm.pages.Add(int64(len(regions)))
@@ -144,6 +155,12 @@ func (d *DAMON) Profile(e *sim.Engine) {
 	}
 	d.pm.merges.Add(d.set.MergedThisInterval)
 	d.pm.splits.Add(d.set.SplitThisInterval)
+	if spanning {
+		e.SpanEnd(
+			span.I("merges", d.set.MergedThisInterval),
+			span.I("splits", d.set.SplitThisInterval),
+			span.I("regions_after", int64(d.set.Len())))
+	}
 }
 
 // randomSplit reproduces DAMON's split step: every region is split at a

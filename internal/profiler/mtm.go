@@ -6,6 +6,7 @@ import (
 	"mtm/internal/pebs"
 	"mtm/internal/region"
 	"mtm/internal/sim"
+	"mtm/internal/span"
 	"mtm/internal/tier"
 	"mtm/internal/vm"
 )
@@ -164,6 +165,12 @@ const (
 func (m *MTM) Profile(e *sim.Engine) {
 	m.set.BeginInterval()
 	regions := m.set.Regions()
+	spanning := e.SpansEnabled()
+	if spanning {
+		e.SpanBegin("profiling", "mtm-profile",
+			span.I("regions", int64(len(regions))),
+			span.I("budget", int64(m.budget)))
+	}
 
 	// Map PEBS samples to regions so slow-tier regions with observed
 	// traffic get event-driven PTE-scan profiling (§5.5). The sampled
@@ -210,6 +217,11 @@ func (m *MTM) Profile(e *sim.Engine) {
 		// PEBS runtime overhead is <1% (§9.3); charge a small per-sample
 		// handling cost.
 		handling := time.Duration(len(samples)) * 100 * time.Nanosecond
+		if spanning {
+			e.SpanEmit("profiling", "pebs-attribution", e.SpanClockNs(), int64(handling),
+				span.I("samples", int64(len(samples))),
+				span.I("shards", int64(len(shards))))
+		}
 		e.ChargeProfiling(handling)
 		m.pm.scanNs.AddDuration(handling)
 	}
@@ -282,6 +294,20 @@ func (m *MTM) Profile(e *sim.Engine) {
 		totalScans += shardScans[s]
 		totalPages += shardPages[s]
 	}
+	if spanning {
+		// Per-shard scan spans, reconstructed from the shards' private
+		// tallies on the serialised path and laid end to end; their summed
+		// duration equals the ChargeProfiling below exactly.
+		cur := e.SpanClockNs()
+		for s := range shardScans {
+			d := int64(time.Duration(shardScans[s]) * MTMScanCost)
+			e.SpanEmit("profiling", "pte-scan", cur, d,
+				span.I("shard", int64(s)),
+				span.I("scans", shardScans[s]),
+				span.I("pages", shardPages[s]))
+			cur += d
+		}
+	}
 	m.scans += totalScans
 	e.ChargeProfiling(time.Duration(totalScans) * MTMScanCost)
 	m.pm.scanNs.AddDuration(time.Duration(totalScans) * MTMScanCost)
@@ -311,6 +337,11 @@ func (m *MTM) Profile(e *sim.Engine) {
 		} else {
 			m.tauMEsc = 0
 		}
+	}
+	if spanning {
+		e.SpanEnd(
+			span.I("scans", totalScans),
+			span.I("regions_after", int64(m.set.Len())))
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"mtm/internal/region"
 	"mtm/internal/sim"
+	"mtm/internal/span"
 	"mtm/internal/vm"
 )
 
@@ -64,10 +65,11 @@ const chunkShardRegions = 8
 // sharded on the engine's pool: each shard owns a fixed run of the
 // selection, draws from its own ShardRand stream, writes only its own
 // regions' hotness fields, and tallies scans into a private slot. The
-// merged scan count is returned for the (serialised) profiling charge.
-// Every region must appear at most once in sel — two shards writing one
-// region would race.
-func harvestRegions(e *sim.Engine, sel []*region.Region, round, scansPerPage int, windowFrac, alpha float64, numScans int) int64 {
+// merged scan count is returned for the (serialised) profiling charge,
+// alongside the per-shard tallies so callers can emit per-shard scan
+// spans in shard order. Every region must appear at most once in sel —
+// two shards writing one region would race.
+func harvestRegions(e *sim.Engine, sel []*region.Region, round, scansPerPage int, windowFrac, alpha float64, numScans int) (int64, []int64) {
 	nShards := sim.NumShards(len(sel), chunkShardRegions)
 	shardScans := make([]int64, nShards)
 	e.Parallel(nShards, func(s int) {
@@ -99,7 +101,7 @@ func harvestRegions(e *sim.Engine, sel []*region.Region, round, scansPerPage int
 	for _, s := range shardScans {
 		total += s
 	}
-	return total
+	return total, shardScans
 }
 
 func (p *RandomChunk) Profile(e *sim.Engine) {
@@ -108,6 +110,7 @@ func (p *RandomChunk) Profile(e *sim.Engine) {
 	if len(regions) == 0 {
 		return
 	}
+	spanning := e.SpansEnabled()
 	// Pick a random contiguous run of regions covering ~ChunkBytes; the
 	// selection (the only draw from the engine's own stream) is cheap and
 	// stays sequential, the page walk is sharded.
@@ -118,7 +121,21 @@ func (p *RandomChunk) Profile(e *sim.Engine) {
 		covered += regions[end].Bytes()
 		end++
 	}
-	scans := harvestRegions(e, regions[start:end], 0, 1, 1.0, p.Alpha, p.set.NumScans)
+	if spanning {
+		e.SpanBegin("profiling", "chunk-profile",
+			span.I("regions", int64(len(regions))),
+			span.I("chunk_regions", int64(end-start)))
+	}
+	scans, shardScans := harvestRegions(e, regions[start:end], 0, 1, 1.0, p.Alpha, p.set.NumScans)
+	if spanning {
+		cur := e.SpanClockNs()
+		for s, sc := range shardScans {
+			d := int64(time.Duration(sc) * (OneScanOverhead + ProtFaultCost/2))
+			e.SpanEmit("profiling", "chunk-scan", cur, d,
+				span.I("shard", int64(s)), span.I("pages", sc))
+			cur += d
+		}
+	}
 	p.scans += scans
 	// Present-bit profiling takes a fault per observed page on top of
 	// the PTE write; charge scan + fault cost per page.
@@ -126,6 +143,9 @@ func (p *RandomChunk) Profile(e *sim.Engine) {
 	e.ChargeProfiling(cost)
 	p.pm.scanNs.AddDuration(cost)
 	p.pm.pages.Add(scans)
+	if spanning {
+		e.SpanEnd(span.I("pages", scans))
+	}
 }
 
 // SequentialScan is the tiered-AutoNUMA profiling baseline: a scan pointer
@@ -186,6 +206,16 @@ func (p *SequentialScan) Profile(e *sim.Engine) {
 	if len(regions) == 0 {
 		return
 	}
+	spanning := e.SpansEnabled()
+	if spanning {
+		e.SpanBegin("profiling", "seq-scan-profile",
+			span.I("regions", int64(len(regions))),
+			span.I("cursor", int64(p.cursor)))
+	}
+	var cur int64
+	if spanning {
+		cur = e.SpanClockNs()
+	}
 	var covered int64
 	var faults int64
 	scansPerPage := 1
@@ -210,7 +240,18 @@ func (p *SequentialScan) Profile(e *sim.Engine) {
 		}
 		sel = sel[:take]
 		p.cursor += take
-		faults += harvestRegions(e, sel, round, scansPerPage, scanWindow, p.Alpha, p.set.NumScans)
+		f, shardFaults := harvestRegions(e, sel, round, scansPerPage, scanWindow, p.Alpha, p.set.NumScans)
+		faults += f
+		if spanning {
+			for s, sc := range shardFaults {
+				d := int64(time.Duration(sc) * HintFaultCost / 4)
+				e.SpanEmit("profiling", "hint-fault-scan", cur, d,
+					span.I("round", int64(round)),
+					span.I("shard", int64(s)),
+					span.I("pages", sc))
+				cur += d
+			}
+		}
 		if p.cursor >= 1<<30 {
 			p.cursor = p.cursor % len(regions)
 		}
@@ -222,4 +263,7 @@ func (p *SequentialScan) Profile(e *sim.Engine) {
 	e.ChargeProfiling(cost)
 	p.pm.scanNs.AddDuration(cost)
 	p.pm.pages.Add(faults)
+	if spanning {
+		e.SpanEnd(span.I("pages", faults))
+	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"mtm/internal/region"
 	"mtm/internal/sim"
+	"mtm/internal/span"
 	"mtm/internal/vm"
 )
 
@@ -68,6 +69,13 @@ func (t *Thermostat) Profile(e *sim.Engine) {
 		n = len(regions)
 	}
 
+	spanning := e.SpansEnabled()
+	if spanning {
+		e.SpanBegin("profiling", "thermostat-profile",
+			span.I("regions", int64(len(regions))),
+			span.I("sampled", int64(n)))
+	}
+
 	// Random region selection: the uncontrolled profiling quality the
 	// paper attributes to Thermostat comes from exactly this step.
 	perm := e.Rng.Perm(len(regions))
@@ -114,7 +122,14 @@ func (t *Thermostat) Profile(e *sim.Engine) {
 		r.Sampled = true
 		r.UpdateEMA(t.Alpha)
 	}
+	if spanning {
+		e.SpanEmit("profiling", "prot-fault-sampling", e.SpanClockNs(), int64(spent),
+			span.I("sampled", int64(n)))
+	}
 	e.ChargeProfiling(spent)
 	t.pm.scanNs.AddDuration(spent)
 	t.pm.pages.Add(int64(n))
+	if spanning {
+		e.SpanEnd()
+	}
 }

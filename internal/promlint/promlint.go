@@ -80,6 +80,22 @@ func lintComment(line string, types map[string]string, seenSample map[string]boo
 	if !nameRe.MatchString(name) {
 		return fmt.Errorf("invalid metric name %q in %s", name, fields[1])
 	}
+	if fields[1] == "HELP" {
+		// HELP text must escape backslash as \\ and newline as \n; a
+		// lone backslash means the writer emitted the docstring verbatim
+		// (a raw newline would already have split the line and shown up
+		// as a malformed sample).
+		text := line[strings.Index(line, name)+len(name):]
+		for i := 0; i < len(text); i++ {
+			if text[i] != '\\' {
+				continue
+			}
+			if i+1 >= len(text) || (text[i+1] != '\\' && text[i+1] != 'n') {
+				return fmt.Errorf("unescaped backslash in HELP for %s: %q", name, text)
+			}
+			i++ // skip the escaped character
+		}
+	}
 	if fields[1] == "TYPE" {
 		if len(fields) < 4 {
 			return fmt.Errorf("TYPE %s without a type", name)

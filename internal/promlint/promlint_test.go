@@ -26,21 +26,30 @@ func TestLintAcceptsValidExposition(t *testing.T) {
 
 func TestLintRejections(t *testing.T) {
 	cases := map[string]string{
-		"empty input":        "",
-		"comment only":       "# TYPE x counter\n",
-		"bad metric name":    "3bad_name 1\n",
-		"non-numeric value":  "x_total one\n",
-		"unquoted label":     `x_total{node=dram} 1` + "\n",
-		"bad label name":     `x_total{3node="a"} 1` + "\n",
-		"unknown type":       "# TYPE x_total flurble\nx_total 1\n",
-		"duplicate type":     "# TYPE x counter\n# TYPE x gauge\nx 1\n",
-		"type after samples": "x 1\n# TYPE x counter\n",
-		"bucket without le":  "# TYPE h histogram\nh_bucket{node=\"a\"} 1\nh_sum 1\nh_count 1\n",
+		"empty input":                 "",
+		"comment only":                "# TYPE x counter\n",
+		"bad metric name":             "3bad_name 1\n",
+		"non-numeric value":           "x_total one\n",
+		"unquoted label":              `x_total{node=dram} 1` + "\n",
+		"bad label name":              `x_total{3node="a"} 1` + "\n",
+		"unknown type":                "# TYPE x_total flurble\nx_total 1\n",
+		"duplicate type":              "# TYPE x counter\n# TYPE x gauge\nx 1\n",
+		"type after samples":          "x 1\n# TYPE x counter\n",
+		"bucket without le":           "# TYPE h histogram\nh_bucket{node=\"a\"} 1\nh_sum 1\nh_count 1\n",
+		"unescaped backslash in HELP": "# HELP x_total path C:\\temp\n# TYPE x_total counter\nx_total 1\n",
+		"HELP continuation line":      "# HELP x_total line one\nline two\n# TYPE x_total counter\nx_total 1\n",
 	}
 	for name, input := range cases {
 		if err := Lint(strings.NewReader(input)); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
+	}
+}
+
+func TestLintAcceptsEscapedHelp(t *testing.T) {
+	in := `# HELP x_total line one\nline two with a \\ backslash` + "\n# TYPE x_total counter\nx_total 1\n"
+	if err := Lint(strings.NewReader(in)); err != nil {
+		t.Fatalf("escaped HELP rejected: %v", err)
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 
 	"mtm/internal/metrics"
 	"mtm/internal/pebs"
+	"mtm/internal/span"
 	"mtm/internal/tier"
 	"mtm/internal/vm"
 )
@@ -112,6 +113,7 @@ type Engine struct {
 	faults FaultPlane
 	failed error          // sticky first failure (e.g. *OOMError)
 	met    *engineMetrics // nil unless EnableMetrics was called
+	sp     *span.Tracer   // nil unless EnableSpans was called
 
 	clock time.Duration
 
@@ -318,10 +320,12 @@ func (e *Engine) beginInterval() {
 		e.intAccesses[i] = 0
 	}
 	e.Sys.ResetWindow(e.Interval)
+	e.spansBeginInterval()
 }
 
 func (e *Engine) endInterval() {
 	app := e.AppTimeThisInterval()
+	e.spansEndInterval(app)
 	e.clock += app + e.intProf + e.intMig
 	e.TotalApp += app
 	e.TotalProf += e.intProf
@@ -394,6 +398,11 @@ type Result struct {
 	// per-interval time series, event log) when the engine ran with
 	// EnableMetrics; nil otherwise.
 	Metrics *metrics.Export `json:",omitempty"`
+
+	// Spans is the deterministic span trace (interval pipeline spans and
+	// migration decision provenance) when the engine ran with
+	// EnableSpans; nil otherwise.
+	Spans *span.Export `json:",omitempty"`
 }
 
 // Run drives workload w under solution sol until the workload completes,
@@ -402,6 +411,10 @@ type Result struct {
 // partial run in the error case.
 func Run(e *Engine, w Workload, sol Solution, maxIntervals int) (*Result, error) {
 	e.sol = sol
+	if e.sp != nil {
+		e.sp.SetMeta("solution", sol.Name())
+		e.sp.SetMeta("workload", w.Name())
+	}
 	w.Init(e)
 	for i := 0; i < maxIntervals && !w.Done() && e.failed == nil; i++ {
 		e.RunInterval(w)
@@ -429,5 +442,6 @@ func Run(e *Engine, w Workload, sol Solution, maxIntervals int) (*Result, error)
 		DeferredPromotions: e.DeferredPromotions,
 		EmergencyDemotions: e.EmergencyDemotions,
 		Metrics:            e.MetricsExport(),
+		Spans:              e.SpansExport(),
 	}, e.failed
 }

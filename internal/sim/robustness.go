@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"mtm/internal/span"
 	"mtm/internal/tier"
 	"mtm/internal/vm"
 )
@@ -118,6 +119,10 @@ func (e *Engine) NoteDeferredPromotionTo(dst tier.NodeID) {
 	if e.met != nil {
 		e.met.reg.Emit(EventPromotionDeferred, e.Sys.Topo.Nodes[dst].Name, 0)
 	}
+	if e.sp != nil {
+		e.SpanEvent("policy", "promotion-deferred",
+			span.S("dst", e.Sys.Topo.Nodes[dst].Name))
+	}
 }
 
 // NoteMigrationRetry records one retried page-copy attempt.
@@ -188,6 +193,19 @@ func (e *Engine) MoveAborted(v *vm.VMA, idx int, dst tier.NodeID) {
 			e.met.reg.Emit(EventMigrationAbort, e.met.pairName[src][dst], int64(idx))
 		}
 	}
+	if e.sp != nil {
+		src := v.Node(idx)
+		srcName := ""
+		if int(src) >= 0 && int(src) < len(e.Sys.Topo.Nodes) {
+			srcName = e.Sys.Topo.Nodes[src].Name
+		}
+		e.SpanEvent("migration", "abort",
+			span.S("src", srcName),
+			span.S("dst", e.Sys.Topo.Nodes[dst].Name),
+			span.S("vma", v.Name),
+			span.I("page", int64(idx)),
+			span.I("wasted_bytes", v.PageSize))
+	}
 }
 
 // ErrOutOfMemory is the sentinel for capacity exhaustion: every tier is
@@ -226,6 +244,16 @@ func (e *Engine) fail(err error) {
 				e.met.reg.Emit(EventOOM, err.Error(), 0)
 			}
 		}
+		if e.sp != nil {
+			if oe, ok := err.(*OOMError); ok {
+				e.SpanEvent("emergency", "oom",
+					span.S("vma", oe.VMA),
+					span.I("page", int64(oe.Page)),
+					span.I("need_bytes", oe.Need))
+			} else {
+				e.SpanEvent("emergency", "oom", span.S("error", err.Error()))
+			}
+		}
 	}
 }
 
@@ -255,6 +283,11 @@ func (e *Engine) emergencyReclaim(socket int, need int64) tier.NodeID {
 			if e.met != nil {
 				e.met.emergencies.Inc()
 				e.met.reg.Emit(EventEmergencyDemotion, e.Sys.Topo.Nodes[cand].Name, need)
+			}
+			if e.sp != nil {
+				e.SpanEvent("emergency", "emergency-demotion",
+					span.S("node", e.Sys.Topo.Nodes[cand].Name),
+					span.I("need_bytes", need))
 			}
 			return cand
 		}

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"mtm/internal/span"
+	"mtm/internal/tier"
+	"mtm/internal/vm"
+)
+
+// TestSpanConfinement: span emission is bound to the same serialized-loop
+// confinement guard as Charge*/metrics, so emitting from inside a Parallel
+// shard must panic — even at Parallelism 1.
+func TestSpanConfinement(t *testing.T) {
+	mustPanic := func(name string, f func(e *Engine)) {
+		t.Run(name, func(t *testing.T) {
+			e := NewEngine(tier.OptaneTopology(256), 1)
+			e.Par = NewPool(1)
+			e.EnableSpans(span.Config{})
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("%s inside Parallel did not panic", name)
+				}
+				if s, ok := r.(string); !ok || !strings.Contains(s, "span(") {
+					t.Fatalf("panic %v does not identify the span guard", r)
+				}
+			}()
+			e.Parallel(1, func(int) { f(e) })
+		})
+	}
+	mustPanic("begin", func(e *Engine) { e.SpanBegin("test", "x") })
+	mustPanic("end", func(e *Engine) { e.SpanEnd() })
+	mustPanic("emit", func(e *Engine) { e.SpanEmit("test", "x", 0, 1) })
+	mustPanic("event", func(e *Engine) { e.SpanEvent("test", "x") })
+}
+
+// TestSpanOutsideParallelAllowed: the same emissions are legal on the
+// serialized interval loop and land in the export.
+func TestSpanOutsideParallelAllowed(t *testing.T) {
+	e := NewEngine(tier.OptaneTopology(256), 1)
+	tr := e.EnableSpans(span.Config{})
+	e.SpanBegin("test", "outer", span.I("k", 1))
+	e.SpanEvent("test", "inner")
+	e.SpanEnd()
+	if got := tr.Len(); got != 2 {
+		t.Fatalf("tracer holds %d spans, want 2", got)
+	}
+	x := e.SpansExport()
+	if x == nil || len(x.Spans) != 2 {
+		t.Fatalf("export %+v, want 2 spans", x)
+	}
+}
+
+// TestSpanAPIsNilSafe: with tracing disabled every Span* method is a
+// no-op, not a nil dereference.
+func TestSpanAPIsNilSafe(t *testing.T) {
+	e := NewEngine(tier.OptaneTopology(256), 1)
+	if e.SpansEnabled() {
+		t.Fatal("tracing enabled by default")
+	}
+	e.SpanBegin("test", "x")
+	e.SpanEnd()
+	e.SpanEmit("test", "x", 0, 1)
+	e.SpanEvent("test", "x")
+	if e.SpansExport() != nil {
+		t.Fatal("disabled tracer exported spans")
+	}
+}
+
+// TestDisabledTracingZeroAllocs is the hot-path acceptance bound: with
+// Config.Trace unset, the per-access path and the no-op Span* entry points
+// must not allocate at all.
+func TestDisabledTracingZeroAllocs(t *testing.T) {
+	e := NewEngine(tier.OptaneTopology(256), 1)
+	e.SetSolution(noopSolution{})
+	v := e.AS.Alloc("x", 4*vm.HugePageSize)
+	e.Access(v, 0, 1, 0, 0) // pre-fault so the steady-state path is measured
+	if n := testing.AllocsPerRun(100, func() {
+		e.Access(v, 0, 8, 2, 0)
+	}); n != 0 {
+		t.Errorf("Access allocates %.1f per op with tracing disabled", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		e.SpanBegin("test", "x")
+		e.SpanEnd()
+		e.SpanEmit("test", "x", 0, 1)
+		e.SpanEvent("test", "x")
+	}); n != 0 {
+		t.Errorf("no-op span calls allocate %.1f per op", n)
+	}
+}
+
+// noopSolution satisfies Solution for engine-level tests.
+type noopSolution struct{}
+
+func (noopSolution) Name() string { return "noop" }
+func (noopSolution) Place(e *Engine, v *vm.VMA, idx, socket int) tier.NodeID {
+	return e.Sys.FirstFit(e.Sys.Topo.View(socket), v.PageSize)
+}
+func (noopSolution) IntervalStart(*Engine) {}
+func (noopSolution) IntervalEnd(*Engine)   {}

@@ -1,0 +1,283 @@
+// Package span is a deterministic, virtual-clock span tracer for the
+// simulation's interval pipeline. It records causally-linked spans —
+// interval → per-shard profile scans → classify/plan decisions →
+// migration → per-tier-pair transfers → emergency events — with
+// timestamps taken from the engine's virtual clock and IDs from a
+// per-interval counter, so the trace is a pure function of the simulated
+// execution: byte-identical at any Parallelism setting.
+//
+// The tracer mirrors the confinement contract of internal/metrics: every
+// mutating call runs through a guard hook that the engine points at its
+// assertOwned check, so a span emitted from inside Engine.Parallel panics
+// exactly like Charge*/Note*/metrics writes do. Sharded phases compute
+// per-shard scratch and the serialised caller emits their spans in shard
+// order afterwards.
+//
+// All methods are nil-safe: a nil *Tracer no-ops, so call sites that
+// carry no attributes need no "enabled?" branches. Sites that build
+// attribute lists must still guard on the engine's SpansEnabled — the
+// variadic attribute slice is allocated by the caller before the nil
+// check can run.
+package span
+
+// attrKind discriminates the payload of an Attr.
+type attrKind uint8
+
+const (
+	kindString attrKind = iota
+	kindInt
+	kindFloat
+)
+
+// Attr is one key/value annotation on a span or event. Construct with S,
+// I, or F; the zero value is a string attr with an empty value.
+type Attr struct {
+	Key  string
+	kind attrKind
+	s    string
+	i    int64
+	f    float64
+}
+
+// S returns a string attribute.
+func S(key, v string) Attr { return Attr{Key: key, kind: kindString, s: v} }
+
+// I returns an integer attribute.
+func I(key string, v int64) Attr { return Attr{Key: key, kind: kindInt, i: v} }
+
+// F returns a float attribute.
+func F(key string, v float64) Attr { return Attr{Key: key, kind: kindFloat, f: v} }
+
+// Value returns the attribute's payload as an interface value (for JSON
+// rendering).
+func (a Attr) Value() any {
+	switch a.kind {
+	case kindInt:
+		return a.i
+	case kindFloat:
+		return a.f
+	}
+	return a.s
+}
+
+// Span is one recorded span or instant event. Start and Dur are virtual
+// nanoseconds; Instant events have Dur 0 and render as instants in the
+// Chrome export.
+type Span struct {
+	ID       uint64 `json:"id"`
+	Parent   uint64 `json:"parent,omitempty"`
+	Interval int    `json:"interval"`
+	Cat      string `json:"cat"`
+	Name     string `json:"name"`
+	Start    int64  `json:"ts_ns"`
+	Dur      int64  `json:"dur_ns"`
+	Instant  bool   `json:"instant,omitempty"`
+	Attrs    []Attr `json:"attrs,omitempty"`
+}
+
+// Config bounds the tracer.
+type Config struct {
+	// MaxSpans caps the recorded span count; the first MaxSpans spans are
+	// kept and the rest are counted in the export's Dropped field (the
+	// same first-N policy as the metrics event ring, so the kept prefix
+	// is deterministic). 0 selects DefaultMaxSpans.
+	MaxSpans int
+}
+
+// DefaultMaxSpans bounds a trace to a workable file size while holding
+// every span of the evaluation-scale runs.
+const DefaultMaxSpans = 1 << 17
+
+// Tracer records spans. Not safe for concurrent use — the engine binds
+// its guard so misuse from a parallel shard panics deterministically.
+type Tracer struct {
+	max      int
+	guard    func(what string)
+	meta     map[string]string
+	spans    []Span
+	dropped  int64
+	interval int
+	seq      uint32
+	stack    []int // indices of open spans; -1 marks a dropped open
+}
+
+// New creates a tracer positioned at interval -1 (the setup phase before
+// the first profiling interval).
+func New(cfg Config) *Tracer {
+	max := cfg.MaxSpans
+	if max <= 0 {
+		max = DefaultMaxSpans
+	}
+	return &Tracer{max: max, meta: map[string]string{}, interval: -1}
+}
+
+// SetGuard installs the ownership check run before every mutation; the
+// engine points it at assertOwned so writes inside Parallel panic.
+func (t *Tracer) SetGuard(fn func(what string)) {
+	if t == nil {
+		return
+	}
+	t.guard = fn
+}
+
+func (t *Tracer) check(what string) {
+	if t.guard != nil {
+		t.guard(what)
+	}
+}
+
+// SetMeta records a trace-level key/value (solution, workload, seed);
+// exported in the JSONL header and the Chrome metadata events.
+func (t *Tracer) SetMeta(key, value string) {
+	if t == nil {
+		return
+	}
+	t.check("SetMeta")
+	t.meta[key] = value
+}
+
+// BeginInterval advances the tracer to the given profiling interval and
+// restarts the per-interval ID counter, making span IDs a pure function
+// of (interval, emission order).
+func (t *Tracer) BeginInterval(interval int) {
+	if t == nil {
+		return
+	}
+	t.check("BeginInterval")
+	t.interval = interval
+	t.seq = 0
+}
+
+// nextID returns the next deterministic span ID: the interval (offset so
+// the setup phase is 0) in the high 32 bits, the per-interval sequence in
+// the low.
+func (t *Tracer) nextID() uint64 {
+	t.seq++
+	return uint64(uint32(t.interval+1))<<32 | uint64(t.seq)
+}
+
+// parentID is the innermost open, kept span.
+func (t *Tracer) parentID() uint64 {
+	for j := len(t.stack) - 1; j >= 0; j-- {
+		if t.stack[j] >= 0 {
+			return t.spans[t.stack[j]].ID
+		}
+	}
+	return 0
+}
+
+func (t *Tracer) push(sp Span) int {
+	if len(t.spans) >= t.max {
+		t.dropped++
+		return -1
+	}
+	t.spans = append(t.spans, sp)
+	return len(t.spans) - 1
+}
+
+// Begin opens a span at startNs; close it with End. Spans nest: a Begin
+// inside an open span records that span as its parent.
+func (t *Tracer) Begin(cat, name string, startNs int64, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.check("Begin:" + name)
+	sp := Span{
+		ID: t.nextID(), Parent: t.parentID(), Interval: t.interval,
+		Cat: cat, Name: name, Start: startNs, Attrs: attrs,
+	}
+	t.stack = append(t.stack, t.push(sp))
+}
+
+// End closes the innermost open span at endNs, appending any extra
+// attributes. Without an open span it no-ops.
+func (t *Tracer) End(endNs int64, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.check("End")
+	if len(t.stack) == 0 {
+		return
+	}
+	idx := t.stack[len(t.stack)-1]
+	t.stack = t.stack[:len(t.stack)-1]
+	if idx < 0 {
+		return
+	}
+	sp := &t.spans[idx]
+	if d := endNs - sp.Start; d > 0 {
+		sp.Dur = d
+	}
+	sp.Attrs = append(sp.Attrs, attrs...)
+}
+
+// Emit records a complete span (start and duration known up front),
+// parented to the innermost open span.
+func (t *Tracer) Emit(cat, name string, startNs, durNs int64, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.check("Emit:" + name)
+	if durNs < 0 {
+		durNs = 0
+	}
+	t.push(Span{
+		ID: t.nextID(), Parent: t.parentID(), Interval: t.interval,
+		Cat: cat, Name: name, Start: startNs, Dur: durNs, Attrs: attrs,
+	})
+}
+
+// Event records an instant event at atNs, parented to the innermost open
+// span.
+func (t *Tracer) Event(cat, name string, atNs int64, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.check("Event:" + name)
+	t.push(Span{
+		ID: t.nextID(), Parent: t.parentID(), Interval: t.interval,
+		Cat: cat, Name: name, Start: atNs, Instant: true, Attrs: attrs,
+	})
+}
+
+// CloseAll ends every open span at endNs — the interval boundary's
+// defensive sweep, closing the interval root and any straggler a panic
+// or early return left open.
+func (t *Tracer) CloseAll(endNs int64) {
+	if t == nil {
+		return
+	}
+	for len(t.stack) > 0 {
+		t.End(endNs)
+	}
+}
+
+// Len returns the number of recorded (kept) spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.spans)
+}
+
+// Dropped returns how many spans the MaxSpans cap discarded.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Export snapshots the trace for serialisation. Nil on a nil tracer.
+func (t *Tracer) Export() *Export {
+	if t == nil {
+		return nil
+	}
+	meta := make(map[string]string, len(t.meta))
+	for k, v := range t.meta {
+		meta[k] = v
+	}
+	spans := make([]Span, len(t.spans))
+	copy(spans, t.spans)
+	return &Export{Meta: meta, Spans: spans, Dropped: t.dropped}
+}

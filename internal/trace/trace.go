@@ -25,16 +25,19 @@ import (
 	"mtm/internal/vm"
 )
 
-// Magic and Version identify the trace format.
+// Magic and Version identify the trace format. Version 2 added the
+// init-end marker separating initialisation traffic from interval 0;
+// version-1 streams (no marker) still read, with Init left empty.
 const (
 	Magic   = 0x4d544d54 // "MTMT"
-	Version = 1
+	Version = 2
 )
 
 // record kinds
 const (
 	recAccess      = 1
 	recIntervalEnd = 2
+	recInitEnd     = 3
 )
 
 // Access is one recorded batched access.
@@ -144,6 +147,19 @@ func (t *Writer) IntervalEnd() error {
 	return err
 }
 
+// InitEnd marks the end of initialisation traffic. Accesses before the
+// marker replay during workload Init (pre-faulting pages exactly as the
+// recorded run did) rather than being charged to interval 0.
+func (t *Writer) InitEnd() error {
+	if !t.wrote {
+		if err := t.header(); err != nil {
+			return err
+		}
+	}
+	_, err := t.w.Write([]byte{recInitEnd})
+	return err
+}
+
 // Records returns the number of accesses recorded.
 func (t *Writer) Records() int64 { return t.n }
 
@@ -153,6 +169,9 @@ func (t *Writer) Flush() error { return t.w.Flush() }
 // Trace is a fully parsed trace.
 type Trace struct {
 	VMAs []VMADesc
+	// Init holds the accesses issued during workload initialisation
+	// (before the first interval); empty for version-1 traces.
+	Init []Access
 	// Intervals holds the access batches per profiling interval.
 	Intervals [][]Access
 }
@@ -171,8 +190,8 @@ func Read(r io.Reader) (*Trace, error) {
 	if le.Uint32(head[0:]) != Magic {
 		return nil, fmt.Errorf("%w: magic", ErrFormat)
 	}
-	if le.Uint16(head[4:]) != Version {
-		return nil, fmt.Errorf("%w: version", ErrFormat)
+	if v := le.Uint16(head[4:]); v != 1 && v != Version {
+		return nil, fmt.Errorf("%w: version %d", ErrFormat, v)
 	}
 	nv := int(le.Uint16(head[6:]))
 	t := &Trace{VMAs: make([]VMADesc, nv)}
@@ -219,6 +238,12 @@ func Read(r io.Reader) (*Trace, error) {
 		case recIntervalEnd:
 			t.Intervals = append(t.Intervals, cur)
 			cur = nil
+		case recInitEnd:
+			if t.Init != nil || len(t.Intervals) > 0 {
+				return nil, fmt.Errorf("%w: stray init-end marker", ErrFormat)
+			}
+			t.Init = cur
+			cur = nil
 		default:
 			return nil, fmt.Errorf("%w: record kind %d", ErrFormat, kind)
 		}
@@ -250,6 +275,12 @@ func (r *Replay) Init(e *sim.Engine) {
 		e.AS.THP = d.HugePage
 		r.vmas[i] = e.AS.Alloc(d.Name, d.Bytes)
 		e.AS.THP = saved
+	}
+	// Re-issue the recorded initialisation traffic so page placement and
+	// ground-truth counters enter interval 0 exactly as in the live run
+	// (init app-time is zeroed at the first interval boundary either way).
+	for _, a := range r.tr.Init {
+		e.Access(r.vmas[a.VMA], int(a.Page), a.Reads, a.Writes, int(a.Socket))
 	}
 }
 
@@ -321,6 +352,11 @@ func (r *Recorder) Init(e *sim.Engine) {
 		for _, v := range e.AS.VMAs() {
 			r.Out.RegisterVMA(v)
 		}
+	}
+	// Fence off initialisation traffic so replay re-issues it during Init
+	// rather than charging it to interval 0.
+	if err := r.Out.InitEnd(); err != nil && r.err == nil {
+		r.err = err
 	}
 }
 

@@ -142,11 +142,10 @@ func TestRecordReplayEquivalence(t *testing.T) {
 	if e1.TotalAccesses != e2.TotalAccesses {
 		t.Fatalf("accesses: recorded %d, replayed %d", e1.TotalAccesses, e2.TotalAccesses)
 	}
-	// Virtual app time differs slightly: the recorded run's init-phase
-	// traffic is charged outside any interval, while the replay issues
-	// it inside interval 0. Placement and totals must still agree.
-	ratio := e1.TotalApp.Seconds() / e2.TotalApp.Seconds()
-	if ratio < 0.9 || ratio > 1.1 {
+	// Virtual app time must match exactly: the init-end marker makes the
+	// replay issue initialisation traffic during Init, exactly where the
+	// recorded run did (and where the first interval boundary zeroes it).
+	if e1.TotalApp != e2.TotalApp {
 		t.Fatalf("app time diverged: recorded %v, replayed %v", e1.TotalApp, e2.TotalApp)
 	}
 	for i := range e1.NodeAccesses {

@@ -34,6 +34,7 @@ import (
 	"mtm/internal/policy"
 	"mtm/internal/profiler"
 	"mtm/internal/sim"
+	"mtm/internal/span"
 	"mtm/internal/tier"
 	"mtm/internal/workload"
 )
@@ -90,6 +91,13 @@ type Config struct {
 	// comparison); disabled, the run is bit-identical to a build without
 	// the metrics layer.
 	Metrics bool
+	// Trace, when non-nil, enables the deterministic span tracer: the
+	// whole interval pipeline (profiling scans, classification decisions,
+	// migration transfers, emergency events) is recorded as causally
+	// linked spans on the virtual clock and returned in Result.Spans.
+	// The zero Config selects the defaults; output is byte-identical at
+	// every Parallelism. Nil adds zero overhead to the hot path.
+	Trace *span.Config
 }
 
 // DefaultScale mirrors workload.DefaultScale.
@@ -179,6 +187,9 @@ func NewEngine(c Config) *sim.Engine {
 	e.Par = sim.NewPool(c.Parallelism)
 	if c.Metrics {
 		e.EnableMetrics()
+	}
+	if c.Trace != nil {
+		e.EnableSpans(*c.Trace)
 	}
 	if inj, err := fault.NewScenario(c.Faults, c.FaultSeed); err == nil && inj != nil {
 		e.SetFaultPlane(inj)

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"mtm/internal/sim"
+	"mtm/internal/span"
 )
 
 // runPair executes the same (workload, solution) run at two Parallelism
@@ -88,6 +89,79 @@ func TestParallelDeterminismMetrics(t *testing.T) {
 	faulty := cfg
 	faulty.Faults = "ebusy-storm"
 	t.Run("gups/mtm/ebusy-storm", func(t *testing.T) { runPair(t, faulty, "gups", "mtm") })
+}
+
+// spanJSONL runs one traced configuration and returns the JSONL-encoded
+// span stream.
+func spanJSONL(t *testing.T, cfg Config, wl, sol string) []byte {
+	t.Helper()
+	res, err := Run(cfg, wl, sol)
+	if err != nil {
+		t.Fatalf("run (parallel %d): %v", cfg.Parallelism, err)
+	}
+	if res.Spans == nil {
+		t.Fatal("traced run produced no span export")
+	}
+	var buf bytes.Buffer
+	if err := res.Spans.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// runSpanSet executes the same traced run at Parallelism 1, 2 and 8 and
+// fails unless the JSONL span streams are byte-identical: every timestamp
+// comes from the virtual clock and every ID from a per-interval counter,
+// so worker count must never leak into the trace.
+func runSpanSet(t *testing.T, cfg Config, wl, sol string) {
+	t.Helper()
+	cfg.Trace = &span.Config{}
+	cfg.Parallelism = 1
+	base := spanJSONL(t, cfg, wl, sol)
+	if bytes.Count(base, []byte("\n")) < 2 {
+		t.Fatal("trace is empty; determinism comparison is vacuous")
+	}
+	for _, p := range []int{2, 8} {
+		c := cfg
+		c.Parallelism = p
+		if got := spanJSONL(t, c, wl, sol); !bytes.Equal(base, got) {
+			t.Errorf("span stream diverged at parallelism %d", p)
+		}
+	}
+}
+
+// TestParallelDeterminismSpans extends the determinism invariant to the
+// span tracer across the solution x workload matrix.
+func TestParallelDeterminismSpans(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 512
+	cfg.OpsFactor = 0.25
+	if testing.Short() || sim.RaceEnabled {
+		// Same trim rationale as TestParallelDeterminismMatrix.
+		for _, sol := range []string{"mtm", "tiered-autonuma"} {
+			t.Run("gups/"+sol, func(t *testing.T) { runSpanSet(t, cfg, "gups", sol) })
+		}
+		return
+	}
+	for _, wl := range WorkloadNames() {
+		for _, sol := range SolutionNames() {
+			t.Run(wl+"/"+sol, func(t *testing.T) {
+				t.Parallel()
+				runSpanSet(t, cfg, wl, sol)
+			})
+		}
+	}
+}
+
+// TestParallelDeterminismSpansFaults covers the fault-injected variant:
+// retry, backoff and abort annotations ride in the transfer spans, and
+// they too must be identical at any worker count.
+func TestParallelDeterminismSpansFaults(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 512
+	cfg.OpsFactor = 0.25
+	cfg.Faults = "ebusy-storm"
+	runSpanSet(t, cfg, "gups", "mtm")
 }
 
 // TestParallelDeterminismFaults extends the invariant to fault-injected

@@ -1,0 +1,102 @@
+package mtm
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"mtm/internal/trace"
+)
+
+// recordThenReplay runs a workload live under tiered-AutoNUMA (whose whole
+// pipeline is free of engine-Rng draws, so the replayed access stream is
+// the only input), then replays the captured trace on a fresh engine with
+// the same config, returning both results.
+func recordThenReplay(t *testing.T, cfg Config) (live, replayed *Result) {
+	t.Helper()
+	const solution = "tiered-autonuma"
+	w, err := NewWorkload("gups", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rec := trace.NewRecorder(w, trace.NewWriter(&buf))
+	s1, err := NewSolution(solution, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err = RunWith(cfg, rec, s1)
+	if err != nil {
+		t.Fatalf("live run: %v", err)
+	}
+	if rerr := rec.Err(); rerr != nil {
+		t.Fatalf("recording: %v", rerr)
+	}
+	if err := rec.Out.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatalf("reading trace back: %v", err)
+	}
+	s2, err := NewSolution(solution, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err = RunWith(cfg, trace.NewReplay(tr), s2)
+	if err != nil {
+		t.Fatalf("replay run: %v", err)
+	}
+	return live, replayed
+}
+
+// assertSameMetrics compares the two runs' metrics exports byte for byte.
+func assertSameMetrics(t *testing.T, live, replayed *Result) {
+	t.Helper()
+	if live.Metrics == nil || replayed.Metrics == nil {
+		t.Fatal("metrics export missing from a run")
+	}
+	lb, err := json.Marshal(live.Metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := json.Marshal(replayed.Metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(lb, rb) {
+		if live.Intervals != replayed.Intervals {
+			t.Fatalf("interval counts differ: live %d, replay %d", live.Intervals, replayed.Intervals)
+		}
+		t.Fatalf("metrics exports differ (live %d bytes, replay %d bytes)\nlive:   %.400s\nreplay: %.400s",
+			len(lb), len(rb), lb, rb)
+	}
+}
+
+// TestReplayMetricsByteIdentical: replaying a recorded workload must yield
+// a metrics export byte-identical to the live run's — placement, timing,
+// and every per-interval sample included.
+func TestReplayMetricsByteIdentical(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 512
+	cfg.OpsFactor = 0.25
+	cfg.Metrics = true
+	live, replayed := recordThenReplay(t, cfg)
+	if live.Intervals == 0 {
+		t.Fatal("live run completed no intervals")
+	}
+	assertSameMetrics(t, live, replayed)
+}
+
+// TestReplayMetricsByteIdenticalWithFaults repeats the byte-identity check
+// under fault injection: the injector draws from its own seeded stream, so
+// the same access sequence must still perturb both runs identically.
+func TestReplayMetricsByteIdenticalWithFaults(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 512
+	cfg.OpsFactor = 0.25
+	cfg.Metrics = true
+	cfg.Faults = "ebusy-storm"
+	live, replayed := recordThenReplay(t, cfg)
+	assertSameMetrics(t, live, replayed)
+}
