@@ -7,6 +7,7 @@
 //	mtmsim -workload gups -solution mtm
 //	mtmsim -workload voltdb -solution tiered-autonuma -scale 64 -ops 1
 //	mtmsim -workload gups -solution mtm -faults ebusy-storm
+//	mtmsim -workload gups -solution mtm -faults dimm-death -health -audit
 //	mtmsim -workload gups -solution mtm -parallel 4 -json
 //	mtmsim -workload gups -solution mtm -metrics out.prom -metrics-format prom
 //	mtmsim -list
@@ -17,6 +18,12 @@
 // the CI determinism gate diffs across parallelism levels. A failed run
 // (e.g. out of memory under -faults capacity-crunch) still emits the
 // partial Result with an "error" field, and exits non-zero.
+//
+// -health enables the tier-health subsystem (poisoning, draining,
+// circuit breakers) even without a fault scenario; scenarios that inject
+// memory errors or tier failures (dimm-death, cxl-flaky) enable it
+// automatically. -audit cross-checks the engine's residency, capacity and
+// migration ledgers after the run and fails on any drift.
 //
 // -metrics enables the observability layer and writes its export to the
 // given file; -metrics-format selects JSON (default) or Prometheus text
@@ -63,6 +70,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		two       = fs.Bool("two-tier", false, "use the single-socket DRAM+PM machine")
 		cxl       = fs.Bool("cxl", false, "use the DRAM + direct-CXL + switched-CXL machine")
 		faults    = fs.String("faults", "none", "fault-injection scenario")
+		healthOn  = fs.Bool("health", false, "enable the tier-health subsystem (auto-enabled by mem-error/tier-fail scenarios)")
+		audit     = fs.Bool("audit", false, "cross-check residency/capacity/migration ledgers after the run")
 		parallel  = fs.Int("parallel", 0, "worker count for sharded phases (0 = GOMAXPROCS)")
 		jsonOut   = fs.Bool("json", false, "emit the result as JSON instead of the text report")
 		metrics   = fs.String("metrics", "", "enable the metrics layer and write its export to this file")
@@ -130,6 +139,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.TwoTier = *two
 	cfg.CXL = *cxl
 	cfg.Faults = *faults
+	cfg.Health = *healthOn
+	cfg.Audit = *audit
 	cfg.Parallelism = *parallel
 	cfg.Metrics = *metrics != ""
 	if *spans != "" {
@@ -199,7 +210,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "robustness: retries=%d aborts=%d wasted=%dKB deferred-promotions=%d emergency-demotions=%d\n",
 			res.MigrationRetries, res.MigrationAborts, res.WastedBytes>>10, res.DeferredPromotions, res.EmergencyDemotions)
 	}
+	if res.PoisonedPages+res.PoisonRecoveries+res.DrainedBytes+res.BreakerTrips+res.DrainStalls > 0 {
+		fmt.Fprintf(stdout, "health:     poisoned=%d recoveries=%d drained=%dKB breaker-trips=%d drain-stalls=%d\n",
+			res.PoisonedPages, res.PoisonRecoveries, res.DrainedBytes>>10, res.BreakerTrips, res.DrainStalls)
+	}
 	topo := cfg.Topology()
+	if len(res.TierStates) > 0 {
+		fmt.Fprintln(stdout, "tier states:")
+		for i, s := range res.TierStates {
+			fmt.Fprintf(stdout, "  %-6s %s\n", topo.Nodes[i].Name, s)
+		}
+	}
 	fmt.Fprintln(stdout, "accesses per node:")
 	for i, n := range res.NodeAccesses {
 		fmt.Fprintf(stdout, "  %-6s %12d (%.1f%%)\n", topo.Nodes[i].Name, n, 100*float64(n)/float64(res.TotalAccesses))

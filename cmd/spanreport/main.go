@@ -12,7 +12,13 @@
 // which region was considered, the hotness estimate at that instant, the
 // policy rule that fired, the threshold it compared against, and the
 // outcome (destination and bytes for promote/demote; the reason for
-// skip/defer/stop).
+// skip/defer/stop). Decisions vetoed by tier health carry their evidence
+// inline: a skip under rule "breaker-open" names the breaker state, the
+// consecutive aborts that tripped it, when the cool-down ends, and the
+// pair's lifetime trip count; a skip under "tier-unavailable" names the
+// destination's health state. Health-category spans (poisonings,
+// state transitions, breaker trips, drain stalls) are listed after the
+// decision log.
 package main
 
 import (
@@ -99,6 +105,22 @@ type decision struct {
 	HasThresh bool
 	Dst       string
 	Bytes     int64
+	// Breaker evidence, present on "breaker-open" skips.
+	Breaker          string
+	BreakerAborts    int64
+	BreakerOpenUntil int64
+	BreakerTrips     int64
+	// TierState is the destination's health state on "tier-unavailable"
+	// skips.
+	TierState string
+}
+
+// healthEvent is one health-category span (poisoning, state transition,
+// breaker trip, drain stall).
+type healthEvent struct {
+	Interval int
+	Name     string
+	Attrs    map[string]any
 }
 
 // report is the analyzed trace.
@@ -106,6 +128,7 @@ type report struct {
 	Meta      map[string]string
 	Intervals map[int]*intervalRow
 	Decisions []decision
+	Health    []healthEvent
 	Dropped   int64
 	Spans     int
 }
@@ -182,7 +205,22 @@ func analyze(r io.Reader) (*report, error) {
 					d.Threshold, d.HasThresh = f, true
 				}
 			}
+			if d.Rule == "breaker-open" {
+				d.Breaker = attrString(l.Attrs, "breaker")
+				d.BreakerAborts = attrInt(l.Attrs, "consecutive_aborts")
+				d.BreakerOpenUntil = attrInt(l.Attrs, "open_until_ns")
+				d.BreakerTrips = attrInt(l.Attrs, "breaker_trips")
+			}
+			if d.Rule == "tier-unavailable" {
+				d.TierState = attrString(l.Attrs, "tier_state")
+			}
 			rep.Decisions = append(rep.Decisions, d)
+		case "health":
+			rep.Health = append(rep.Health, healthEvent{
+				Interval: l.Interval,
+				Name:     l.Name,
+				Attrs:    l.Attrs,
+			})
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -263,6 +301,37 @@ func (rep *report) write(w io.Writer, explain bool) {
 		}
 		if d.Bytes > 0 {
 			fmt.Fprintf(w, " bytes=%d", d.Bytes)
+		}
+		if d.Breaker != "" {
+			// Breaker evidence: why the pair was vetoed and until when.
+			fmt.Fprintf(w, " breaker=%s consecutive_aborts=%d open_until=%v trips=%d",
+				d.Breaker, d.BreakerAborts, time.Duration(d.BreakerOpenUntil), d.BreakerTrips)
+		}
+		if d.TierState != "" {
+			fmt.Fprintf(w, " tier_state=%s", d.TierState)
+		}
+		fmt.Fprintln(w)
+	}
+
+	if len(rep.Health) == 0 {
+		return
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "health events: %d\n", len(rep.Health))
+	for _, h := range rep.Health {
+		fmt.Fprintf(w, "  [%4d] %-15s", h.Interval, h.Name)
+		keys := make([]string, 0, len(h.Attrs))
+		for k := range h.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			switch v := h.Attrs[k].(type) {
+			case float64:
+				fmt.Fprintf(w, " %s=%v", k, int64(v))
+			default:
+				fmt.Fprintf(w, " %s=%v", k, v)
+			}
 		}
 		fmt.Fprintln(w)
 	}

@@ -1,0 +1,149 @@
+package mtm
+
+import (
+	"errors"
+	"testing"
+
+	"mtm/internal/sim"
+)
+
+// TestDimmDeathEvacuatesAndOfflines is the acceptance run for the tier
+// health subsystem: under the dimm-death scenario the targeted tier (PM0,
+// node 2 on the Optane box) accumulates uncorrectable errors, drains its
+// live pages to the surviving tiers, and goes Offline — with the run
+// completing normally and every ledger balancing afterwards.
+func TestDimmDeathEvacuatesAndOfflines(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 256
+	cfg.OpsFactor = 0.25
+	cfg.Faults = "dimm-death"
+
+	w, err := NewWorkload("gups", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSolution("mtm", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(cfg)
+	res, err := sim.Run(e, w, s, MaxIntervals)
+	if err != nil {
+		t.Fatalf("dimm-death run failed: %v", err)
+	}
+	if !res.Completed {
+		t.Fatal("run did not complete")
+	}
+
+	if res.PoisonedPages == 0 {
+		t.Fatal("dimm-death injected no memory errors")
+	}
+	if len(res.TierStates) != 4 || res.TierStates[2] != "Offline" {
+		t.Fatalf("tier states = %v, want node 2 Offline", res.TierStates)
+	}
+	if res.DrainedBytes == 0 {
+		t.Fatal("no pages drained before the tier went offline")
+	}
+	// Every live page evacuated: the dead tier holds nothing but its
+	// quarantined frames, and no access can land there (poisoned pages
+	// fault and refault elsewhere; offline tiers refuse reservations).
+	if used := e.Sys.Used(2); used != 0 {
+		t.Fatalf("offline tier still holds %d resident bytes", used)
+	}
+	if e.Sys.Quarantined(2) == 0 {
+		t.Fatal("poisoned frames not quarantined")
+	}
+	if e.Sys.Allocatable(2) {
+		t.Fatal("offline tier still allocatable")
+	}
+	if err := e.Audit(); err != nil {
+		t.Fatalf("audit after dimm-death: %v", err)
+	}
+}
+
+// TestFlakyTierRePlansMigrations pins the satellite fix for retry
+// accounting: with every copy into DRAM failing, MTM's promotion path
+// must abort, trip the breaker, and re-plan onto other tiers — without
+// double-attributing the re-planned successes to the dead pair, which
+// the audit's counter cross-check would catch.
+func TestFlakyTierRePlansMigrations(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 256
+	cfg.OpsFactor = 0.25
+	cfg.Faults = "tier-fail-prob=1,tier-fail-node=0"
+	cfg.Audit = true
+
+	res, err := Run(cfg, "gups", "mtm")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.MigrationAborts == 0 {
+		t.Fatal("no aborts under a permanently failing destination")
+	}
+	if res.BreakerTrips == 0 {
+		t.Fatal("breaker never tripped on the failing pair")
+	}
+	if res.PromotedBytes == 0 {
+		t.Fatal("promotion stopped entirely instead of re-planning")
+	}
+}
+
+// TestAuditSurvivesCapacityCrunch asserts the ledgers stay balanced even
+// when a run dies of OOM mid-interval under fault pressure: the audit
+// error (if any) is joined with the run error, so an unbalanced abort
+// path would surface as *sim.AuditError here.
+func TestAuditSurvivesCapacityCrunch(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 256
+	cfg.OpsFactor = 0.25
+	cfg.Faults = "capacity-crunch"
+	cfg.Audit = true
+
+	_, err := Run(cfg, "gups", "mtm")
+	var ae *sim.AuditError
+	if errors.As(err, &ae) {
+		t.Fatalf("ledgers drifted under capacity-crunch: %v", ae)
+	}
+	if err != nil && !errors.Is(err, sim.ErrOutOfMemory) {
+		t.Fatalf("unexpected error class: %v", err)
+	}
+}
+
+// TestHealthFlagWithoutScenario covers Config.Health on a fault-free
+// run: the subsystem is live (states reported, breakers armed) but every
+// tier stays Online and the result matches a health-off run on all the
+// simulation's observables.
+func TestHealthFlagWithoutScenario(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 512
+	cfg.OpsFactor = 0.25
+	cfg.Health = true
+	cfg.Audit = true
+
+	res, err := Run(cfg, "gups", "mtm")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(res.TierStates) == 0 {
+		t.Fatal("health enabled but no tier states reported")
+	}
+	for i, s := range res.TierStates {
+		if s != "Online" {
+			t.Fatalf("tier %d = %s without any faults", i, s)
+		}
+	}
+	if res.PoisonedPages != 0 || res.DrainedBytes != 0 || res.BreakerTrips != 0 {
+		t.Fatalf("health counters moved on a fault-free run: %+v", res)
+	}
+
+	base := cfg
+	base.Health = false
+	bres, err := Run(base, "gups", "mtm")
+	if err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+	if res.ExecTime != bres.ExecTime || res.TotalAccesses != bres.TotalAccesses ||
+		res.PromotedBytes != bres.PromotedBytes || res.DemotedBytes != bres.DemotedBytes {
+		t.Fatal("enabling health with no faults perturbed the simulation")
+	}
+}

@@ -20,11 +20,16 @@
 //     pressure (watermarks breached; admission control should back off);
 //   - sample-drop: PEBS interrupt storms lose a fraction of samples;
 //   - link-degrade: a socket→node link runs at a fraction of its rated
-//     bandwidth for a window of intervals.
+//     bandwidth for a window of intervals;
+//   - mem-error: a tier throws uncorrectable memory errors that poison
+//     resident pages (the HWPOISON soft-offline regime), feeding the
+//     tier-health state machine in internal/health;
+//   - tier-flaky: copies *into* one tier fail at a high per-attempt rate
+//     (a dying DIMM or a flaky CXL link), the input that trips migration
+//     circuit breakers.
 package fault
 
 import (
-	"fmt"
 	"math/rand"
 	"sort"
 	"time"
@@ -73,6 +78,39 @@ type Config struct {
 	// sim.SetFaultPlane), so workloads sized for the full machine hit real
 	// exhaustion and exercise the emergency-reclaim / OOM path.
 	CapacityTaxFrac float64
+
+	// MemErrorProb is the per-interval probability that the target tier
+	// throws uncorrectable memory errors; each event poisons
+	// MemErrorBurst resident pages (HWPOISON soft-offline).
+	MemErrorProb float64
+	// MemErrorBurst is the pages poisoned per mem-error event (0 → 1).
+	MemErrorBurst int
+	// MemErrorNode selects the tier the errors strike, as a node index
+	// into the machine; out-of-range values (including the default -1 of
+	// LastNode) clamp to the machine's last node at Attach time.
+	MemErrorNode int
+
+	// TierFailProb is the per-attempt probability that copying a page
+	// INTO the target tier fails while the class's storm window is open —
+	// the sustained-failure input that trips migration circuit breakers.
+	TierFailProb float64
+	// TierFailDuty is the fraction of intervals the tier-flaky class is
+	// active (0 → 1).
+	TierFailDuty float64
+	// TierFailNode selects the flaky destination tier; clamping rules
+	// match MemErrorNode.
+	TierFailNode int
+}
+
+// LastNode selects the machine's last (slowest) node for MemErrorNode /
+// TierFailNode.
+const LastNode = -1
+
+// UsesHealth reports whether the config enables a failure class that
+// requires the tier-health subsystem (page poisoning or destination-tier
+// copy failures). The engine auto-enables health for such scenarios.
+func (c Config) UsesHealth() bool {
+	return c.MemErrorProb > 0 || c.TierFailProb > 0
 }
 
 // Injector is a deterministic fault source implementing sim.FaultPlane.
@@ -84,14 +122,20 @@ type Injector struct {
 	sockets int
 	nodes   int
 
-	busyActive bool
-	dropActive bool
-	pressured  []bool
-	degraded   [][]bool
+	busyActive  bool
+	dropActive  bool
+	pressured   []bool
+	degraded    [][]bool
+	memErrNode  int // resolved target node of the mem-error class
+	flakyNode   int // resolved target node of the tier-flaky class
+	memErrPages int // pages to poison this interval (0 outside a burst)
+	flakyActive bool
 
 	// Decision counters, for tests and reporting.
-	BusyInjected     int64
-	PressureInjected int64
+	BusyInjected      int64
+	PressureInjected  int64
+	MemErrorsInjected int64
+	TierFailInjected  int64
 }
 
 // NewInjector builds an injector over cfg with its own deterministic RNG.
@@ -111,6 +155,19 @@ func (in *Injector) Attach(sockets, nodes int) {
 	for s := range in.degraded {
 		in.degraded[s] = make([]bool, nodes)
 	}
+	in.memErrNode = clampNode(in.Cfg.MemErrorNode, nodes)
+	in.flakyNode = clampNode(in.Cfg.TierFailNode, nodes)
+}
+
+// clampNode resolves a configured target node against the machine:
+// out-of-range indices (including LastNode) clamp to the last node, so a
+// scenario written for the four-tier Optane box still strikes a real
+// tier on a two-tier machine.
+func clampNode(n, nodes int) int {
+	if n < 0 || n >= nodes {
+		return nodes - 1
+	}
+	return n
 }
 
 // BeginInterval redraws the storm windows for one profiling interval.
@@ -143,19 +200,56 @@ func (in *Injector) BeginInterval(interval int) {
 			}
 		}
 	}
+	// The health classes draw strictly after the original four so that
+	// configs without them consume the exact same stream as before.
+	if in.Cfg.MemErrorProb > 0 {
+		in.memErrPages = 0
+		if in.rng.Float64() < in.Cfg.MemErrorProb {
+			burst := in.Cfg.MemErrorBurst
+			if burst <= 0 {
+				burst = 1
+			}
+			in.memErrPages = burst
+			in.MemErrorsInjected += int64(burst)
+		}
+	}
+	if in.Cfg.TierFailProb > 0 {
+		duty := in.Cfg.TierFailDuty
+		if duty <= 0 {
+			duty = 1
+		}
+		in.flakyActive = in.rng.Float64() < duty
+	}
+}
+
+// MemErrorPages returns how many pages the mem-error class poisons on
+// node n this interval (an optional extension beyond sim.FaultPlane; the
+// health layer reads it at interval start).
+func (in *Injector) MemErrorPages(n tier.NodeID) int {
+	if int(n) != in.memErrNode {
+		return 0
+	}
+	return in.memErrPages
 }
 
 // PageBusy reports whether one attempt to copy page idx of v to dst fails
 // with a transient EBUSY, and the wasted kernel time of the attempt.
 func (in *Injector) PageBusy(v *vm.VMA, idx int, dst tier.NodeID) (bool, time.Duration) {
-	if !in.busyActive || in.Cfg.PageBusyProb <= 0 {
-		return false, 0
+	if in.busyActive && in.Cfg.PageBusyProb > 0 {
+		if in.rng.Float64() < in.Cfg.PageBusyProb {
+			in.BusyInjected++
+			return true, in.Cfg.BusyPenalty
+		}
 	}
-	if in.rng.Float64() >= in.Cfg.PageBusyProb {
-		return false, 0
+	// tier-flaky draws after page-busy (fixed class order) and only for
+	// attempts aimed at the flaky destination.
+	if in.flakyActive && int(dst) == in.flakyNode {
+		if in.rng.Float64() < in.Cfg.TierFailProb {
+			in.TierFailInjected++
+			return true, in.Cfg.BusyPenalty
+		}
 	}
-	in.BusyInjected++
-	return true, in.Cfg.BusyPenalty
+	return false, 0
 }
 
 // DestPressure reports whether node n is under transient allocation
@@ -199,12 +293,20 @@ func (in *Injector) ActiveClasses() []string {
 	if in.dropActive {
 		out = append(out, "sample-drop")
 	}
+degrade:
 	for _, row := range in.degraded {
 		for _, d := range row {
 			if d {
-				return append(out, "link-degrade")
+				out = append(out, "link-degrade")
+				break degrade
 			}
 		}
+	}
+	if in.memErrPages > 0 {
+		out = append(out, "mem-error")
+	}
+	if in.flakyActive {
+		out = append(out, "tier-flaky")
 	}
 	return out
 }
@@ -249,6 +351,23 @@ var scenarios = map[string]Config{
 		SampleDropDuty: 0.25, SampleDropFrac: 0.75,
 		LinkDegradeDuty: 0.25, LinkDegradeFactor: 4,
 	},
+	// dimm-death: a DIMM on the first capacity tier (node 2: PM0 on the
+	// Optane box, CXL1 on the CXL box) is dying — every interval throws a
+	// burst of uncorrectable errors and most copies into the tier fail.
+	// Drives the full health pipeline: poisoning → Degraded → Draining →
+	// background evacuation → Offline, with breakers tripping on the way.
+	"dimm-death": {
+		MemErrorProb: 1.0, MemErrorBurst: 4, MemErrorNode: 2,
+		TierFailProb: 0.85, TierFailNode: 2,
+	},
+	// cxl-flaky: an intermittently misbehaving far tier — occasional
+	// single-page poisons and windows where half-ish of inbound copies
+	// fail. The tier oscillates Online ↔ Degraded and breakers open and
+	// recover, without ever reaching the drain threshold in short runs.
+	"cxl-flaky": {
+		MemErrorProb: 0.25, MemErrorBurst: 1, MemErrorNode: 2,
+		TierFailProb: 0.6, TierFailDuty: 0.5, TierFailNode: 2,
+	},
 }
 
 // Scenarios lists the named scenarios, sorted, with "none" first.
@@ -261,24 +380,23 @@ func Scenarios() []string {
 	return append([]string{"none"}, names...)
 }
 
-// Valid reports whether name is a known scenario ("" and "none" are the
-// no-injection scenarios).
-func Valid(name string) bool {
-	if name == "" || name == "none" {
-		return true
-	}
-	_, ok := scenarios[name]
-	return ok
+// Valid reports whether spec is a parseable fault scenario ("" and
+// "none" are the no-injection scenarios; see Parse for the grammar).
+func Valid(spec string) bool {
+	_, err := Parse(spec)
+	return err == nil
 }
 
-// NewScenario builds the named scenario's injector, or nil for ""/"none".
-func NewScenario(name string, seed int64) (*Injector, error) {
-	if name == "" || name == "none" {
-		return nil, nil
+// NewScenario builds the injector for a scenario spec (a named scenario
+// optionally extended with key=value overrides, see Parse), or nil for a
+// spec that injects nothing.
+func NewScenario(spec string, seed int64) (*Injector, error) {
+	cfg, err := Parse(spec)
+	if err != nil {
+		return nil, err
 	}
-	cfg, ok := scenarios[name]
-	if !ok {
-		return nil, fmt.Errorf("fault: unknown scenario %q (have %v)", name, Scenarios())
+	if cfg == (Config{}) {
+		return nil, nil
 	}
 	return NewInjector(cfg, seed), nil
 }

@@ -122,6 +122,9 @@ func (p *TieredAutoNUMA) IntervalEnd(e *sim.Engine) {
 		// One tier up only; same-socket destinations are preferred by
 		// construction of the view (local nodes rank earlier).
 		dst := view[rank-1]
+		if !destUsable(e, r, node, dst) {
+			continue
+		}
 		pages := r.Pages()
 		if max := int(budget / r.V.PageSize); pages > max {
 			pages = max
@@ -192,7 +195,7 @@ func (p *TieredAutoNUMA) demoteFor(e *sim.Engine, regions []*region.Region, dst 
 		bytes := int64(r.Pages()) * r.V.PageSize
 		lower := tier.Invalid
 		for dr := dstRank + 1; dr < len(view); dr++ {
-			if e.Sys.Free(view[dr]) >= bytes {
+			if e.Sys.Free(view[dr]) >= bytes && e.DestUsable(dst, view[dr]) {
 				lower = view[dr]
 				break
 			}

@@ -107,6 +107,9 @@ func (p *AutoTiering) IntervalEnd(e *sim.Engine) {
 		// that has (or can opportunistically be given) space.
 		for dr := 0; dr < rank; dr++ {
 			dst := view[dr]
+			if !destUsable(e, r, node, dst) {
+				continue
+			}
 			if e.Sys.Free(dst) < need {
 				p.opportunisticDemote(e, regions, dst, need-e.Sys.Free(dst), view)
 			}
@@ -152,7 +155,7 @@ func (p *AutoTiering) opportunisticDemote(e *sim.Engine, regions []*region.Regio
 		bytes := int64(r.Pages()) * r.V.PageSize
 		lower := tier.Invalid
 		for dr := dstRank + 1; dr < len(view); dr++ {
-			if e.Sys.Free(view[dr]) >= bytes {
+			if e.Sys.Free(view[dr]) >= bytes && e.DestUsable(dst, view[dr]) {
 				lower = view[dr]
 				break
 			}

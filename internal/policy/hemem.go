@@ -157,6 +157,11 @@ func (p *HeMem) IntervalEnd(e *sim.Engine) {
 		if nodeOf(r) != pm {
 			continue
 		}
+		if !destUsable(e, r, pm, dram) {
+			// Two-tier world view: with DRAM unusable there is nowhere
+			// else to promote to.
+			break
+		}
 		bytes := r.Bytes()
 		if e.Sys.Free(dram) < bytes {
 			p.demoteCold(e, hist, dram, pm, bytes-e.Sys.Free(dram))
@@ -180,6 +185,9 @@ func (p *HeMem) IntervalEnd(e *sim.Engine) {
 
 // demoteCold moves the coldest DRAM-resident regions to PM.
 func (p *HeMem) demoteCold(e *sim.Engine, hist *region.Histogram, dram, pm tier.NodeID, need int64) {
+	if !e.DestUsable(dram, pm) {
+		return
+	}
 	var freed int64
 	for _, r := range hist.ColdestFirst() {
 		if freed >= need {

@@ -71,7 +71,9 @@ func (h *HMC) IntervalStart(e *sim.Engine) {
 	for i, n := range e.Sys.Topo.Nodes {
 		if n.Kind == tier.DRAM {
 			dramBytes += n.Capacity
-			e.Sys.Reserve(tier.NodeID(i), e.Sys.Free(tier.NodeID(i)))
+			carve := e.Sys.Free(tier.NodeID(i))
+			e.Sys.Reserve(tier.NodeID(i), carve)
+			e.NoteOpaqueReserve(tier.NodeID(i), carve)
 		}
 	}
 	slots := dramBytes / hmcSectorBytes

@@ -156,6 +156,11 @@ func (p *MTM) promote(e *sim.Engine, hist *region.Histogram) {
 		// etc., with room made by slow demotion on the way.
 		for dstRank := 0; dstRank < worstRank; dstRank++ {
 			dst := view[dstRank]
+			if !destUsable(e, r, nodeOf(r), dst) {
+				// Draining/offline tier or open circuit breaker: route
+				// around it and consider the next-fastest tier.
+				continue
+			}
 			if e.PromotionPressure(dst) {
 				// Admission control (TierBPF-style shedding): the tier
 				// signals transient allocation pressure, so promoting into
@@ -193,8 +198,17 @@ func (p *MTM) promote(e *sim.Engine, hist *region.Histogram) {
 						span.S("dst", nodeName(e, dst)),
 						span.I("bytes", rep.Bytes))
 				}
+				break
 			}
-			break
+			// Every page-move into dst aborted (flaky tier, contended
+			// pages). Re-plan onto the next-fastest tier instead of giving
+			// up on the region: the aborted attempts are already accounted
+			// per-pair, and a success on the re-planned pair must not be
+			// double-attributed to this one.
+			if spanning {
+				spanDecision(e, "skip", "all-aborted", r,
+					span.S("dst", nodeName(e, dst)))
+			}
 		}
 	}
 	p.carry = budget - spent
@@ -244,7 +258,7 @@ func (p *MTM) makeRoom(e *sim.Engine, hist *region.Histogram, node tier.NodeID, 
 		bytes := int64(minInt(maxPages, r.Pages())) * r.V.PageSize
 		var dst tier.NodeID = tier.Invalid
 		for dr := nodeRank + 1; dr < len(view); dr++ {
-			if e.Sys.Free(view[dr]) >= bytes {
+			if e.Sys.Free(view[dr]) >= bytes && e.DestUsable(node, view[dr]) {
 				dst = view[dr]
 				break
 			}

@@ -131,6 +131,34 @@ func nodeName(e *sim.Engine, n tier.NodeID) string {
 	return e.Sys.Topo.Nodes[n].Name
 }
 
+// destUsable gates one planned migration of region r from src to dst on
+// tier health: a draining/offline destination or an open src→dst circuit
+// breaker vetoes the move, with one skip-provenance event naming the
+// evidence ("tier-unavailable", or "breaker-open" with the breaker
+// state). Always true when the health subsystem is disabled, so baseline
+// runs are untouched.
+func destUsable(e *sim.Engine, r *region.Region, src, dst tier.NodeID) bool {
+	if e.DestUsable(src, dst) {
+		return true
+	}
+	if e.SpansEnabled() {
+		if !e.Sys.Allocatable(dst) {
+			spanDecision(e, "skip", "tier-unavailable", r,
+				span.S("dst", nodeName(e, dst)),
+				span.S("tier_state", e.TierHealth(dst).String()))
+		} else {
+			state, consec, until, trips := e.BreakerEvidence(src, dst)
+			spanDecision(e, "skip", "breaker-open", r,
+				span.S("dst", nodeName(e, dst)),
+				span.S("breaker", state),
+				span.I("consecutive_aborts", consec),
+				span.I("open_until_ns", until),
+				span.I("breaker_trips", trips))
+		}
+	}
+	return false
+}
+
 // spanDecision emits one migration-decision provenance event. The event
 // name is the outcome ("promote", "demote", "skip", "defer", "stop");
 // rule names the policy clause that fired, and the base payload carries

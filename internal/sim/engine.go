@@ -114,6 +114,13 @@ type Engine struct {
 	failed error          // sticky first failure (e.g. *OOMError)
 	met    *engineMetrics // nil unless EnableMetrics was called
 	sp     *span.Tracer   // nil unless EnableSpans was called
+	hlt    *healthState   // nil unless EnableHealth was called
+
+	// Open page-move transaction (MoveBegin → MoveCommit/MoveAborted).
+	// The source node is captured at begin time so the outcome is
+	// attributed to the pair the transaction was opened against.
+	txnOpen bool
+	txnSrc  tier.NodeID
 
 	clock time.Duration
 
@@ -148,6 +155,21 @@ type Engine struct {
 	WastedBytes        int64 // copy bytes thrown away by aborts
 	DeferredPromotions int64 // promotions deferred by admission control
 	EmergencyDemotions int64 // emergency-reclaim events in the fault path
+
+	// Tier-health accounting (non-zero only with EnableHealth).
+	PoisonedPages    int64 // pages lost to uncorrectable memory errors
+	PoisonRecoveries int64 // recovery faults taken on poisoned pages
+	DrainedBytes     int64 // bytes evacuated off draining tiers
+	BreakerTrips     int64 // migration circuit-breaker trips
+	DrainStalls      int64 // drain steps stalled with no destination
+
+	// Committed-move ledger and residency bookkeeping for Audit.
+	committedPages int64
+	committedBytes int64
+	poisonedBytes  int64
+	taxBytes       []int64 // per-node co-tenant capacity tax (may be nil)
+	opaqueBytes    []int64 // per-node solution carve-outs (may be nil)
+	drainStallErr  error   // last ErrNoDestination, wrapped
 
 	latCache [][]time.Duration
 }
@@ -238,6 +260,13 @@ func (e *Engine) Access(v *vm.VMA, idx int, n, nw uint32, socket int) {
 // demotion when every node is full. On true exhaustion it records a sticky
 // *OOMError and reports ok=false instead of panicking.
 func (e *Engine) handleFault(v *vm.VMA, idx int, socket int) (tier.NodeID, bool) {
+	if e.hlt != nil && v.IsPoisoned(idx) {
+		// HWPOISON recovery: the app touched a quarantined page. The
+		// machine-check + SIGBUS-handler round trip is charged to the
+		// app, the dead frame is acknowledged, and the fault proceeds as
+		// demand-zero onto a healthy tier.
+		e.poisonRecovery(v, idx)
+	}
 	node := e.sol.Place(e, v, idx, socket)
 	if node == tier.Invalid || !e.Sys.Reserve(node, v.PageSize) {
 		node = e.Sys.FirstFit(e.Sys.Topo.View(socket), v.PageSize)
@@ -296,6 +325,18 @@ func (e *Engine) ChargeBackground(d time.Duration) { e.assertOwned("ChargeBackgr
 func (e *Engine) NotePromotion(bytes int64) { e.assertOwned("NotePromotion"); e.intPromoted += bytes }
 func (e *Engine) NoteDemotion(bytes int64)  { e.assertOwned("NoteDemotion"); e.intDemoted += bytes }
 
+// NoteOpaqueReserve records bytes a solution reserved on a node outside
+// the page tables (e.g. HMC carving out all of DRAM as a memory-side
+// cache). The auditor credits them against the node's used ledger, which
+// would otherwise read as unexplained residency.
+func (e *Engine) NoteOpaqueReserve(n tier.NodeID, bytes int64) {
+	e.assertOwned("NoteOpaqueReserve")
+	if e.opaqueBytes == nil {
+		e.opaqueBytes = make([]int64, len(e.Sys.Topo.Nodes))
+	}
+	e.opaqueBytes[n] += bytes
+}
+
 // AppTimeThisInterval returns the application time consumed so far in the
 // current interval, normalised for thread parallelism.
 func (e *Engine) AppTimeThisInterval() time.Duration {
@@ -321,9 +362,11 @@ func (e *Engine) beginInterval() {
 	}
 	e.Sys.ResetWindow(e.Interval)
 	e.spansBeginInterval()
+	e.healthBeginInterval()
 }
 
 func (e *Engine) endInterval() {
+	e.healthEndInterval()
 	app := e.AppTimeThisInterval()
 	e.spansEndInterval(app)
 	e.clock += app + e.intProf + e.intMig
@@ -350,6 +393,10 @@ func (e *Engine) endInterval() {
 	}
 	e.metricsEndInterval(app)
 	e.AS.ResetCounts()
+	// Fold-and-zero: the interval volumes are in the cumulative totals
+	// now, so zeroing here (not only at the next beginInterval) keeps the
+	// committed-move ledger checkable between intervals (see Audit).
+	e.intPromoted, e.intDemoted = 0, 0
 	e.Intervals++
 }
 
@@ -393,6 +440,17 @@ type Result struct {
 	WastedBytes        int64
 	DeferredPromotions int64
 	EmergencyDemotions int64
+
+	// Tier-health accounting (present only when the health subsystem ran;
+	// omitted otherwise so health-free Result JSON is unchanged).
+	PoisonedPages    int64 `json:",omitempty"`
+	PoisonRecoveries int64 `json:",omitempty"`
+	DrainedBytes     int64 `json:",omitempty"`
+	BreakerTrips     int64 `json:",omitempty"`
+	DrainStalls      int64 `json:",omitempty"`
+	// TierStates is the final health state per node, in node order; nil
+	// without the health subsystem.
+	TierStates []string `json:",omitempty"`
 
 	// Metrics is the full observability export (instrument values,
 	// per-interval time series, event log) when the engine ran with
@@ -441,6 +499,12 @@ func Run(e *Engine, w Workload, sol Solution, maxIntervals int) (*Result, error)
 		WastedBytes:        e.WastedBytes,
 		DeferredPromotions: e.DeferredPromotions,
 		EmergencyDemotions: e.EmergencyDemotions,
+		PoisonedPages:      e.PoisonedPages,
+		PoisonRecoveries:   e.PoisonRecoveries,
+		DrainedBytes:       e.DrainedBytes,
+		BreakerTrips:       e.BreakerTrips,
+		DrainStalls:        e.DrainStalls,
+		TierStates:         e.TierStates(),
 		Metrics:            e.MetricsExport(),
 		Spans:              e.SpansExport(),
 	}, e.failed

@@ -71,6 +71,7 @@ func TestAccessChargesTierLatency(t *testing.T) {
 	if e.intAccesses[0] != 1000 {
 		t.Fatalf("interval accesses = %d", e.intAccesses[0])
 	}
+	mustAudit(t, e)
 }
 
 func TestFaultPlacesViaSolution(t *testing.T) {
@@ -88,6 +89,7 @@ func TestFaultPlacesViaSolution(t *testing.T) {
 	if e.TotalFaults != 1 {
 		t.Fatalf("faults = %d", e.TotalFaults)
 	}
+	mustAudit(t, e)
 }
 
 func TestFaultFallsBackWhenFull(t *testing.T) {
@@ -112,6 +114,7 @@ func TestFaultFallsBackWhenFull(t *testing.T) {
 	if spilled == 0 {
 		t.Fatal("no pages spilled to other nodes")
 	}
+	mustAudit(t, e)
 }
 
 func TestMovePage(t *testing.T) {
@@ -123,6 +126,7 @@ func TestMovePage(t *testing.T) {
 	if !e.MovePage(v, 0, 0) {
 		t.Fatal("MovePage failed")
 	}
+	e.NotePromotion(v.PageSize) // node 2 -> 0 is a promotion; keep the ledger honest
 	if v.Node(0) != 0 || e.Sys.Used(2) != 0 || e.Sys.Used(0) != v.PageSize {
 		t.Fatal("MovePage accounting wrong")
 	}
@@ -130,6 +134,7 @@ func TestMovePage(t *testing.T) {
 	if !e.MovePage(v, 0, 0) {
 		t.Fatal("self-move failed")
 	}
+	mustAudit(t, e)
 }
 
 func TestIntervalLoopAccounting(t *testing.T) {
@@ -155,6 +160,7 @@ func TestIntervalLoopAccounting(t *testing.T) {
 	if res.TotalAccesses != 300 {
 		t.Fatalf("accesses = %d", res.TotalAccesses)
 	}
+	mustAudit(t, e)
 }
 
 func TestMaxIntervalsStopsRun(t *testing.T) {

@@ -37,6 +37,18 @@ const (
 	// EventEmergencyDemotion: the emergency-reclaim path freed room by
 	// demoting cold pages; Detail names the node that was consolidated.
 	EventEmergencyDemotion = "emergency-demotion"
+	// EventMemPoison: an uncorrectable memory error poisoned a page;
+	// Detail names the node, Value is the page index.
+	EventMemPoison = "mem-poison"
+	// EventHealthTransition: a tier changed health state; Detail is
+	// "node From->To", Value the numeric new state.
+	EventHealthTransition = "health-transition"
+	// EventBreakerTrip: a tier-pair migration circuit breaker tripped;
+	// Detail is the src->dst pair, Value the pair's lifetime trip count.
+	EventBreakerTrip = "breaker-trip"
+	// EventDrainStall: a draining tier found no destination with room;
+	// Detail names the node, Value the resident pages left behind.
+	EventDrainStall = "drain-stall"
 )
 
 // engineMetrics holds the engine's pre-registered instrument handles. All
@@ -60,8 +72,18 @@ type engineMetrics struct {
 	aborts        *metrics.Counter
 	wastedBytes   *metrics.Counter
 
+	// Tier-health instruments (registered unconditionally; they stay at
+	// zero unless EnableHealth is active).
+	poisonedPages     *metrics.Counter
+	poisonRecoveries  *metrics.Counter
+	drainedBytes      *metrics.Counter
+	drainStalls       *metrics.Counter
+	breakerTrips      *metrics.Counter
+	healthTransitions *metrics.Counter
+
 	nodeAccesses []*metrics.Counter // per node
 	contention   []*metrics.Gauge   // per node
+	tierState    []*metrics.Gauge   // per node health state (0=Online..3=Offline)
 
 	// Per-tier-pair migration accounting, indexed [src][dst].
 	movedPages   [][]*metrics.Counter
@@ -104,13 +126,21 @@ func (e *Engine) EnableMetrics() *metrics.Registry {
 	m.aborts = reg.Counter("mtm_migrate_aborts_total", "page-move transactions rolled back")
 	m.wastedBytes = reg.Counter("mtm_migrate_wasted_bytes_total", "copy bytes thrown away by aborts")
 	m.intervalAppNs = reg.Histogram("mtm_sim_interval_app_ns", "per-interval application time (virtual ns)", intervalAppBounds)
+	m.poisonedPages = reg.Counter("mtm_health_poisoned_pages_total", "pages lost to uncorrectable memory errors")
+	m.poisonRecoveries = reg.Counter("mtm_health_poison_recoveries_total", "recovery faults taken on poisoned pages")
+	m.drainedBytes = reg.Counter("mtm_health_drained_bytes_total", "bytes evacuated off draining tiers")
+	m.drainStalls = reg.Counter("mtm_health_drain_stalls_total", "drain steps stalled with no destination")
+	m.breakerTrips = reg.Counter("mtm_health_breaker_trips_total", "migration circuit-breaker trips")
+	m.healthTransitions = reg.Counter("mtm_health_transitions_total", "tier health-state transitions")
 
 	nodes := e.Sys.Topo.Nodes
 	m.nodeAccesses = make([]*metrics.Counter, len(nodes))
 	m.contention = make([]*metrics.Gauge, len(nodes))
+	m.tierState = make([]*metrics.Gauge, len(nodes))
 	for i, n := range nodes {
 		m.nodeAccesses[i] = reg.Counter("mtm_sim_node_accesses_total", "application accesses served per node", metrics.L("node", n.Name))
 		m.contention[i] = reg.Gauge("mtm_sim_node_contention", "bandwidth-contention factor carried into the next interval", metrics.L("node", n.Name))
+		m.tierState[i] = reg.Gauge("mtm_health_tier_state", "tier health state (0=Online 1=Degraded 2=Draining 3=Offline)", metrics.L("node", n.Name))
 	}
 
 	pairCounters := func(name, help string) [][]*metrics.Counter {

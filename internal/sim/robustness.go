@@ -47,9 +47,15 @@ func (e *Engine) SetFaultPlane(fp FaultPlane) {
 	fp.Attach(e.Sys.Topo.Sockets, len(e.Sys.Topo.Nodes))
 	if t, ok := fp.(interface{ CapacityTax() float64 }); ok {
 		if frac := t.CapacityTax(); frac > 0 {
+			e.taxBytes = make([]int64, len(e.Sys.Topo.Nodes))
 			for i := range e.Sys.Topo.Nodes {
 				n := tier.NodeID(i)
-				e.Sys.Reserve(n, int64(frac*float64(e.Sys.Capacity(n))))
+				tax := int64(frac * float64(e.Sys.Capacity(n)))
+				if e.Sys.Reserve(n, tax) {
+					// Recorded so the residency auditor can subtract the
+					// co-tenant share from the used ledger.
+					e.taxBytes[i] = tax
+				}
 			}
 		}
 	}
@@ -156,21 +162,43 @@ func (e *Engine) NoteMigrationBackoff(src, dst tier.NodeID, d time.Duration) {
 // MoveBegin opens a page-move transaction: room for the page is reserved
 // on dst while the page stays mapped on its source (copy-then-commit, the
 // Nomad transactional migration shape). It reports false, leaving all
-// state unchanged, when dst has no room.
+// state unchanged, when dst has no room. The source node is captured at
+// begin time, and MoveCommit/MoveAborted attribute the outcome to that
+// captured (src, dst) pair: an abort followed by a successful retry on a
+// re-planned destination counts one abort on the original pair and one
+// move on the new pair, never both on the original. Transactions do not
+// nest; opening a second one before resolving the first panics.
 func (e *Engine) MoveBegin(v *vm.VMA, idx int, dst tier.NodeID) bool {
 	e.assertOwned("MoveBegin")
-	return e.Sys.Reserve(dst, v.PageSize)
+	if e.txnOpen {
+		panic("sim: MoveBegin with a move transaction already open")
+	}
+	if !e.Sys.Reserve(dst, v.PageSize) {
+		return false
+	}
+	e.txnOpen = true
+	e.txnSrc = v.Node(idx)
+	return true
 }
 
 // MoveCommit completes a transaction opened by MoveBegin: the source frame
-// is released and the page rebinds to dst.
+// is released and the page rebinds to dst. The commit lands in the
+// engine's committed-move ledger (checked by Audit) and counts as a
+// success on the pair's migration circuit breaker.
 func (e *Engine) MoveCommit(v *vm.VMA, idx int, dst tier.NodeID) {
 	e.assertOwned("MoveCommit")
-	src := v.Node(idx)
+	if !e.txnOpen {
+		panic("sim: MoveCommit without MoveBegin")
+	}
+	src := e.txnSrc
+	e.txnOpen = false
 	if src != vm.NoNode && src != dst {
 		e.Sys.Release(src, v.PageSize)
 	}
 	v.Place(idx, dst)
+	e.committedPages++
+	e.committedBytes += v.PageSize
+	e.recordMoveSuccess(src, dst)
 	if e.met != nil {
 		pairCounter(e.met.movedPages, src, dst).Inc()
 	}
@@ -178,14 +206,19 @@ func (e *Engine) MoveCommit(v *vm.VMA, idx int, dst tier.NodeID) {
 
 // MoveAborted rolls back a transaction opened by MoveBegin: the dst
 // reservation is released, the page keeps its source frame, and the abort
-// plus its thrown-away copy bytes are recorded.
+// plus its thrown-away copy bytes are recorded against the begin-time
+// (src, dst) pair. The abort also feeds the pair's circuit breaker.
 func (e *Engine) MoveAborted(v *vm.VMA, idx int, dst tier.NodeID) {
 	e.assertOwned("MoveAborted")
+	if !e.txnOpen {
+		panic("sim: MoveAborted without MoveBegin")
+	}
+	src := e.txnSrc
+	e.txnOpen = false
 	e.Sys.Release(dst, v.PageSize)
 	e.MigrationAborts++
 	e.WastedBytes += v.PageSize
 	if e.met != nil {
-		src := v.Node(idx)
 		e.met.aborts.Inc()
 		e.met.wastedBytes.Add(v.PageSize)
 		pairCounter(e.met.abortedPages, src, dst).Inc()
@@ -194,7 +227,6 @@ func (e *Engine) MoveAborted(v *vm.VMA, idx int, dst tier.NodeID) {
 		}
 	}
 	if e.sp != nil {
-		src := v.Node(idx)
 		srcName := ""
 		if int(src) >= 0 && int(src) < len(e.Sys.Topo.Nodes) {
 			srcName = e.Sys.Topo.Nodes[src].Name
@@ -206,6 +238,7 @@ func (e *Engine) MoveAborted(v *vm.VMA, idx int, dst tier.NodeID) {
 			span.I("page", int64(idx)),
 			span.I("wasted_bytes", v.PageSize))
 	}
+	e.recordMoveAbort(src, dst)
 }
 
 // ErrOutOfMemory is the sentinel for capacity exhaustion: every tier is

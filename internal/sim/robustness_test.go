@@ -40,6 +40,7 @@ func TestOutOfMemoryGraceful(t *testing.T) {
 	if e.TotalAccesses != before {
 		t.Fatal("access after failure still charged")
 	}
+	mustAudit(t, e)
 }
 
 // hogWorkload touches every page of a VMA twice the machine's capacity.
@@ -73,6 +74,7 @@ func TestRunReturnsOOMWithPartialResult(t *testing.T) {
 	if res == nil || res.Completed || res.Truncated {
 		t.Fatalf("partial result wrong: %+v", res)
 	}
+	mustAudit(t, e)
 }
 
 func TestEmergencyDemotionRescuesFragmentation(t *testing.T) {
@@ -123,6 +125,7 @@ func TestEmergencyDemotionRescuesFragmentation(t *testing.T) {
 	if want := int(tier.MB / vm.BasePageSize); demoted != want {
 		t.Fatalf("demoted %d filler pages, want %d", demoted, want)
 	}
+	mustAudit(t, e)
 }
 
 func TestEmergencyDemotionCannotFixTrueExhaustion(t *testing.T) {
@@ -147,4 +150,5 @@ func TestEmergencyDemotionCannotFixTrueExhaustion(t *testing.T) {
 	if e.EmergencyDemotions != 0 {
 		t.Fatalf("EmergencyDemotions = %d, want 0 (nothing reclaimable)", e.EmergencyDemotions)
 	}
+	mustAudit(t, e)
 }

@@ -1,0 +1,80 @@
+package tier
+
+import "testing"
+
+func TestQuarantineMovesUsedBytes(t *testing.T) {
+	s := NewSystem(TwoTierTopology(8*MB, 8*MB))
+	if !s.Reserve(0, 4*MB) {
+		t.Fatal("setup reserve failed")
+	}
+	s.Quarantine(0, 1*MB)
+	if s.Used(0) != 3*MB {
+		t.Fatalf("used = %d, want 3MB", s.Used(0))
+	}
+	if s.Quarantined(0) != 1*MB {
+		t.Fatalf("quarantined = %d, want 1MB", s.Quarantined(0))
+	}
+	// Quarantined bytes are capacity lost, not freed: free shrinks by the
+	// quarantined amount relative to a plain release.
+	if s.Free(0) != 8*MB-3*MB-1*MB {
+		t.Fatalf("free = %d, want 4MB", s.Free(0))
+	}
+	// A reservation that would overlap the dead frames must fail.
+	if s.Reserve(0, 5*MB) {
+		t.Fatal("reserve into quarantined capacity succeeded")
+	}
+	if !s.Reserve(0, 4*MB) {
+		t.Fatal("reserve within remaining capacity failed")
+	}
+}
+
+func TestQuarantinePanics(t *testing.T) {
+	s := NewSystem(TwoTierTopology(8*MB, 8*MB))
+	for _, b := range []int64{-1, 1 * MB} {
+		b := b
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Quarantine(%d) with used=0 did not panic", b)
+				}
+			}()
+			s.Quarantine(0, b)
+		}()
+	}
+}
+
+func TestSetAllocatableGatesReserveAndFirstFit(t *testing.T) {
+	s := NewSystem(TwoTierTopology(8*MB, 8*MB))
+	s.SetAllocatable(0, false)
+	if s.Allocatable(0) {
+		t.Fatal("node 0 still allocatable")
+	}
+	if s.Free(0) != 0 {
+		t.Fatalf("offline free = %d, want 0", s.Free(0))
+	}
+	if s.Reserve(0, MB) {
+		t.Fatal("reserve on an offline node succeeded")
+	}
+	// FirstFit must route around the sick tier.
+	if n := s.FirstFit([]NodeID{0, 1}, MB); n != 1 {
+		t.Fatalf("FirstFit = %d, want 1", n)
+	}
+	s.SetAllocatable(0, true)
+	if n := s.FirstFit([]NodeID{0, 1}, MB); n != 0 {
+		t.Fatalf("FirstFit after recovery = %d, want 0", n)
+	}
+}
+
+func TestOfflineNodeStillReleases(t *testing.T) {
+	// Draining evacuates pages off a non-allocatable node: releases must
+	// keep working while reservations are refused.
+	s := NewSystem(TwoTierTopology(8*MB, 8*MB))
+	if !s.Reserve(0, 2*MB) {
+		t.Fatal("setup reserve failed")
+	}
+	s.SetAllocatable(0, false)
+	s.Release(0, 2*MB)
+	if s.Used(0) != 0 {
+		t.Fatalf("used = %d after release, want 0", s.Used(0))
+	}
+}

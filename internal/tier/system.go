@@ -15,11 +15,13 @@ import (
 type System struct {
 	Topo *Topology
 
-	used    []int64 // bytes allocated per node
-	demand  []int64 // bytes transferred per node in the current window
-	window  time.Duration
-	resLog  []Reservation
-	logging bool
+	used        []int64 // bytes allocated per node
+	quarantined []int64 // bytes lost to poisoned (dead) frames per node
+	offline     []bool  // true when the node accepts no new allocations
+	demand      []int64 // bytes transferred per node in the current window
+	window      time.Duration
+	resLog      []Reservation
+	logging     bool
 }
 
 // Reservation records one allocate/release event, for tests and debugging.
@@ -36,9 +38,11 @@ func NewSystem(topo *Topology) *System {
 		panic(err)
 	}
 	return &System{
-		Topo:   topo,
-		used:   make([]int64, len(topo.Nodes)),
-		demand: make([]int64, len(topo.Nodes)),
+		Topo:        topo,
+		used:        make([]int64, len(topo.Nodes)),
+		quarantined: make([]int64, len(topo.Nodes)),
+		offline:     make([]bool, len(topo.Nodes)),
+		demand:      make([]int64, len(topo.Nodes)),
 	}
 }
 
@@ -54,8 +58,44 @@ func (s *System) Capacity(n NodeID) int64 { return s.Topo.Nodes[n].Capacity }
 // Used returns the bytes currently allocated on a node.
 func (s *System) Used(n NodeID) int64 { return s.used[n] }
 
-// Free returns the unallocated bytes on a node.
-func (s *System) Free(n NodeID) int64 { return s.Topo.Nodes[n].Capacity - s.used[n] }
+// Free returns the bytes still allocatable on a node: capacity minus live
+// allocations minus quarantined (poisoned) frames, or zero when the node
+// has been taken offline for new allocations.
+func (s *System) Free(n NodeID) int64 {
+	if s.offline[n] {
+		return 0
+	}
+	return s.Topo.Nodes[n].Capacity - s.used[n] - s.quarantined[n]
+}
+
+// Quarantine retires b bytes of node n's live allocation: the frames are
+// dead (uncorrectable memory error) and never return to the free pool, so
+// the bytes move from the used ledger to the quarantined one and total
+// capacity shrinks by that much. Quarantining more than is allocated
+// panics, like Release.
+func (s *System) Quarantine(n NodeID, b int64) {
+	if b < 0 || s.used[n]-b < 0 {
+		panic(fmt.Sprintf("tier: Quarantine(%d, %d) with used=%d", n, b, s.used[n]))
+	}
+	s.used[n] -= b
+	s.quarantined[n] += b
+	if s.logging {
+		s.resLog = append(s.resLog, Reservation{Node: n, Bytes: b, Release: true})
+	}
+}
+
+// Quarantined returns the bytes lost to poisoned frames on node n.
+func (s *System) Quarantined(n NodeID) int64 { return s.quarantined[n] }
+
+// SetAllocatable marks node n as accepting (true) or rejecting (false)
+// new allocations. A draining or offline tier rejects allocations while
+// existing pages are still being evacuated; Free reports 0 and Reserve
+// fails for such a node, so allocators route around it without a special
+// case.
+func (s *System) SetAllocatable(n NodeID, ok bool) { s.offline[n] = !ok }
+
+// Allocatable reports whether node n accepts new allocations.
+func (s *System) Allocatable(n NodeID) bool { return !s.offline[n] }
 
 // Reserve allocates b bytes on node n. It reports whether the allocation
 // fit; on false the system is unchanged.
@@ -63,7 +103,7 @@ func (s *System) Reserve(n NodeID, b int64) bool {
 	if b < 0 {
 		panic(fmt.Sprintf("tier: Reserve(%d, %d): negative size", n, b))
 	}
-	if s.used[n]+b > s.Topo.Nodes[n].Capacity {
+	if s.offline[n] || s.used[n]+s.quarantined[n]+b > s.Topo.Nodes[n].Capacity {
 		return false
 	}
 	s.used[n] += b

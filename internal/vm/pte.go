@@ -31,6 +31,11 @@ const (
 	Reserved11
 	// Huge marks the entry as mapping a 2 MB huge page.
 	Huge
+	// Poisoned marks a page hit by an uncorrectable memory error, the
+	// analogue of Linux HWPOISON soft-offlining: the frame is dead, the
+	// mapping is gone (Present is cleared alongside), and the next access
+	// takes a recovery fault instead of a machine-check crash.
+	Poisoned
 )
 
 // Has reports whether all bits in mask are set.

@@ -98,6 +98,27 @@ func (v *VMA) Unmap(idx int) {
 	v.ptes[idx] = v.ptes[idx].Clear(Present)
 }
 
+// Poison marks page idx as hit by an uncorrectable memory error, the
+// analogue of Linux HWPOISON soft-offlining. The mapping is torn down
+// (the frame is dead, not reusable), the access state is discarded with
+// it, and the Poisoned bit is left so the next access takes a recovery
+// fault rather than returning stale data.
+func (v *VMA) Poison(idx int) {
+	v.node[idx] = NoNode
+	v.ptes[idx] = v.ptes[idx].Clear(Present | Accessed | Dirty | WriteProtect).Set(Poisoned)
+	v.counts[idx] = 0
+	v.writes[idx] = 0
+}
+
+// IsPoisoned reports whether page idx carries a pending memory error.
+func (v *VMA) IsPoisoned(idx int) bool { return v.ptes[idx].Has(Poisoned) }
+
+// ClearPoison acknowledges the memory error on page idx (the recovery
+// fault handler ran); the page can then be placed on a fresh frame.
+func (v *VMA) ClearPoison(idx int) {
+	v.ptes[idx] = v.ptes[idx].Clear(Poisoned)
+}
+
 // Touch simulates one MMU access to page idx from the given socket,
 // setting the accessed (and on write, dirty) bit and recording ground
 // truth. It returns the node the access hit and whether the page faulted

@@ -25,11 +25,13 @@
 package mtm
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
 
 	"mtm/internal/fault"
+	"mtm/internal/health"
 	"mtm/internal/migrate"
 	"mtm/internal/policy"
 	"mtm/internal/profiler"
@@ -98,6 +100,18 @@ type Config struct {
 	// The zero Config selects the defaults; output is byte-identical at
 	// every Parallelism. Nil adds zero overhead to the hot path.
 	Trace *span.Config
+	// Health enables the tier-health subsystem (memory-error poisoning,
+	// tier draining/offlining, migration circuit breakers) even without a
+	// fault scenario. Scenarios that inject memory errors or tier
+	// failures (dimm-death, cxl-flaky) enable it automatically. Enabled
+	// with no such scenario, every tier simply stays Online; results are
+	// still byte-identical at every Parallelism.
+	Health bool
+	// Audit runs the end-of-run invariant auditor: page-table residency,
+	// per-tier capacity accounting, and the migration/metrics counters
+	// are cross-checked, and any drift is returned as a *sim.AuditError
+	// joined with the run's own error.
+	Audit bool
 }
 
 // DefaultScale mirrors workload.DefaultScale.
@@ -191,8 +205,17 @@ func NewEngine(c Config) *sim.Engine {
 	if c.Trace != nil {
 		e.EnableSpans(*c.Trace)
 	}
+	enableHealth := c.Health
 	if inj, err := fault.NewScenario(c.Faults, c.FaultSeed); err == nil && inj != nil {
 		e.SetFaultPlane(inj)
+		if inj.Cfg.UsesHealth() {
+			enableHealth = true
+		}
+	}
+	if enableHealth {
+		// After Interval is set: the breaker cool-down defaults to twice
+		// the profiling interval.
+		e.EnableHealth(health.Config{})
 	}
 	return e
 }
@@ -353,7 +376,7 @@ func Run(c Config, workloadName, solutionName string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sim.Run(NewEngine(c), w, s, MaxIntervals)
+	return run(c, NewEngine(c), w, s)
 }
 
 // RunWith executes a caller-built workload and solution on a fresh
@@ -362,5 +385,16 @@ func RunWith(c Config, w sim.Workload, s sim.Solution) (*Result, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	return sim.Run(NewEngine(c.withDefaults()), w, s, MaxIntervals)
+	c = c.withDefaults()
+	return run(c, NewEngine(c), w, s)
+}
+
+// run executes the workload and, when Config.Audit is set, cross-checks
+// the engine's ledgers afterwards; an audit failure joins the run error.
+func run(c Config, e *sim.Engine, w sim.Workload, s sim.Solution) (*Result, error) {
+	res, err := sim.Run(e, w, s, MaxIntervals)
+	if c.Audit {
+		err = errors.Join(err, e.Audit())
+	}
+	return res, err
 }

@@ -50,6 +50,15 @@ func TestParallelDeterminismMatrix(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Scale = 512
 	cfg.OpsFactor = 0.25
+	// Health-enabled variants: poisoning order, drain batches, breaker
+	// state and the end-of-run audit must all be parallelism-invariant.
+	// The health machinery never draws from the engine's random stream,
+	// so a DIMM dying mid-run or a flaky CXL link cannot make worker
+	// count observable.
+	health := []struct{ name, faults string }{
+		{"dimm-death", "dimm-death"},
+		{"cxl-flaky", "cxl-flaky"},
+	}
 	if testing.Short() || sim.RaceEnabled {
 		// One PEBS-assisted and one scan-only solution keep the sharded
 		// phases covered without the full 15x6 sweep. Under -race the
@@ -59,6 +68,12 @@ func TestParallelDeterminismMatrix(t *testing.T) {
 		for _, sol := range []string{"mtm", "tiered-autonuma"} {
 			t.Run("gups/"+sol, func(t *testing.T) { runPair(t, cfg, "gups", sol) })
 		}
+		for _, h := range health {
+			hc := cfg
+			hc.Faults = h.faults
+			hc.Audit = true
+			t.Run("gups/mtm/"+h.name, func(t *testing.T) { runPair(t, hc, "gups", "mtm") })
+		}
 		return
 	}
 	for _, wl := range WorkloadNames() {
@@ -66,6 +81,17 @@ func TestParallelDeterminismMatrix(t *testing.T) {
 			t.Run(wl+"/"+sol, func(t *testing.T) {
 				t.Parallel()
 				runPair(t, cfg, wl, sol)
+			})
+		}
+	}
+	for _, h := range health {
+		for _, sol := range SolutionNames() {
+			hc := cfg
+			hc.Faults = h.faults
+			hc.Audit = true
+			t.Run("gups/"+sol+"/"+h.name, func(t *testing.T) {
+				t.Parallel()
+				runPair(t, hc, "gups", sol)
 			})
 		}
 	}
@@ -174,4 +200,18 @@ func TestParallelDeterminismFaults(t *testing.T) {
 	cfg.OpsFactor = 0.25
 	cfg.Faults = "ebusy-storm"
 	runPair(t, cfg, "gups", "mtm")
+}
+
+// TestParallelDeterminismHealthSpans pins the determinism invariant on
+// the health provenance trail: poison, transition, breaker-trip and
+// drain spans carry virtual-clock timestamps and interval-scoped IDs, so
+// the JSONL stream of a run that kills a DIMM and offlines its tier must
+// be byte-identical at any worker count.
+func TestParallelDeterminismHealthSpans(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 512
+	cfg.OpsFactor = 0.25
+	cfg.Faults = "dimm-death"
+	cfg.Audit = true
+	runSpanSet(t, cfg, "gups", "mtm")
 }
