@@ -8,6 +8,7 @@
 //	mtmsim -workload voltdb -solution tiered-autonuma -scale 64 -ops 1
 //	mtmsim -workload gups -solution mtm -faults ebusy-storm
 //	mtmsim -workload gups -solution mtm -faults dimm-death -health -audit
+//	mtmsim -workload pingpong -solution mtm -admission
 //	mtmsim -workload gups -solution mtm -parallel 4 -json
 //	mtmsim -workload gups -solution mtm -metrics out.prom -metrics-format prom
 //	mtmsim -list
@@ -24,6 +25,11 @@
 // memory errors or tier failures (dimm-death, cxl-flaky) enable it
 // automatically. -audit cross-checks the engine's residency, capacity and
 // migration ledgers after the run and fails on any drift.
+//
+// -admission enables migration admission control: every planned move
+// passes an ROI gate, a per-tier-pair bandwidth budget, and a ping-pong
+// cool-down; refusals appear in the report's "admission:" line and, with
+// -spans, as per-decision provenance (see cmd/spanreport -explain).
 //
 // -metrics enables the observability layer and writes its export to the
 // given file; -metrics-format selects JSON (default) or Prometheus text
@@ -50,6 +56,7 @@ import (
 	"runtime/pprof"
 
 	"mtm"
+	"mtm/internal/admission"
 	"mtm/internal/span"
 )
 
@@ -70,6 +77,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		two       = fs.Bool("two-tier", false, "use the single-socket DRAM+PM machine")
 		cxl       = fs.Bool("cxl", false, "use the DRAM + direct-CXL + switched-CXL machine")
 		faults    = fs.String("faults", "none", "fault-injection scenario")
+		admit     = fs.Bool("admission", false, "enable migration admission control (ROI gate, bandwidth budgets, thrash suppression)")
 		healthOn  = fs.Bool("health", false, "enable the tier-health subsystem (auto-enabled by mem-error/tier-fail scenarios)")
 		audit     = fs.Bool("audit", false, "cross-check residency/capacity/migration ledgers after the run")
 		parallel  = fs.Int("parallel", 0, "worker count for sharded phases (0 = GOMAXPROCS)")
@@ -146,6 +154,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *spans != "" {
 		cfg.Trace = &span.Config{}
 	}
+	if *admit {
+		cfg.Admission = &admission.Config{}
+	}
 
 	res, err := mtm.Run(cfg, *wl, *sol)
 	if err != nil && res == nil {
@@ -209,6 +220,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if res.MigrationRetries+res.MigrationAborts+res.DeferredPromotions+res.EmergencyDemotions > 0 {
 		fmt.Fprintf(stdout, "robustness: retries=%d aborts=%d wasted=%dKB deferred-promotions=%d emergency-demotions=%d\n",
 			res.MigrationRetries, res.MigrationAborts, res.WastedBytes>>10, res.DeferredPromotions, res.EmergencyDemotions)
+	}
+	if res.AdmissionAdmits+res.AdmissionDefers+res.AdmissionRejects+res.ThrashSuppressed > 0 {
+		fmt.Fprintf(stdout, "admission:  admitted=%d deferred=%d rejected=%d thrash-suppressed=%d\n",
+			res.AdmissionAdmits, res.AdmissionDefers, res.AdmissionRejects, res.ThrashSuppressed)
 	}
 	if res.PoisonedPages+res.PoisonRecoveries+res.DrainedBytes+res.BreakerTrips+res.DrainStalls > 0 {
 		fmt.Fprintf(stdout, "health:     poisoned=%d recoveries=%d drained=%dKB breaker-trips=%d drain-stalls=%d\n",

@@ -107,6 +107,32 @@ func TestMetricsJSONSamplesEveryInterval(t *testing.T) {
 	}
 }
 
+// TestAdmissionFlag: -admission enables the gate and surfaces its
+// counters in the text report; without the flag the JSON envelope must
+// not mention admission at all (the determinism gate diffs that output
+// against pre-admission baselines).
+func TestAdmissionFlag(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{
+		"-workload", "pingpong", "-solution", "mtm",
+		"-scale", "512", "-ops", "0.25", "-admission",
+	}
+	if code := run(args, &out, io.Discard); code != 0 {
+		t.Fatalf("admission run exited %d", code)
+	}
+	if !strings.Contains(out.String(), "admission:") {
+		t.Errorf("text report lacks the admission line:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := run(small("-json"), &out, io.Discard); code != 0 {
+		t.Fatalf("clean run exited %d", code)
+	}
+	if bytes.Contains(out.Bytes(), []byte("Admission")) {
+		t.Error("admission-free JSON envelope mentions admission fields")
+	}
+}
+
 // TestInvalidMetricsFormatRejected: a bad -metrics-format is a usage
 // error, caught before any simulation runs.
 func TestInvalidMetricsFormatRejected(t *testing.T) {

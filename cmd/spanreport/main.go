@@ -12,7 +12,11 @@
 // which region was considered, the hotness estimate at that instant, the
 // policy rule that fired, the threshold it compared against, and the
 // outcome (destination and bytes for promote/demote; the reason for
-// skip/defer/stop). Decisions vetoed by tier health carry their evidence
+// skip/defer/stop). Decisions gated by migration admission control carry
+// the estimated ROI, the rule that fired ("roi-admitted",
+// "roi-below-min", "victim-too-hot", "budget-exhausted", "low-roi-shed"),
+// and the pair's remaining budget — the full answer to "why was this
+// move refused". Decisions vetoed by tier health carry their evidence
 // inline: a skip under rule "breaker-open" names the breaker state, the
 // consecutive aborts that tripped it, when the cool-down ends, and the
 // pair's lifetime trip count; a skip under "tier-unavailable" names the
@@ -105,6 +109,14 @@ type decision struct {
 	HasThresh bool
 	Dst       string
 	Bytes     int64
+	// Admission evidence, present on admission-gated decisions (rules
+	// "roi-admitted", "roi-below-min", "victim-too-hot",
+	// "budget-exhausted", "low-roi-shed"): the estimated return on
+	// investment for the move and the pair's budget at decision time.
+	ROI          float64
+	HasROI       bool
+	AllowedBytes int64
+	BudgetBytes  int64
 	// Breaker evidence, present on "breaker-open" skips.
 	Breaker          string
 	BreakerAborts    int64
@@ -205,6 +217,13 @@ func analyze(r io.Reader) (*report, error) {
 					d.Threshold, d.HasThresh = f, true
 				}
 			}
+			if v, ok := l.Attrs["roi"]; ok {
+				if f, ok := v.(float64); ok {
+					d.ROI, d.HasROI = f, true
+					d.AllowedBytes = attrInt(l.Attrs, "allowed_bytes")
+					d.BudgetBytes = attrInt(l.Attrs, "budget_bytes")
+				}
+			}
 			if d.Rule == "breaker-open" {
 				d.Breaker = attrString(l.Attrs, "breaker")
 				d.BreakerAborts = attrInt(l.Attrs, "consecutive_aborts")
@@ -301,6 +320,12 @@ func (rep *report) write(w io.Writer, explain bool) {
 		}
 		if d.Bytes > 0 {
 			fmt.Fprintf(w, " bytes=%d", d.Bytes)
+		}
+		if d.HasROI {
+			// Admission evidence: the estimated return on the copy and how
+			// much of the request the pair's budget could carry.
+			fmt.Fprintf(w, " roi=%.4g allowed=%d budget=%d",
+				d.ROI, d.AllowedBytes, d.BudgetBytes)
 		}
 		if d.Breaker != "" {
 			// Breaker evidence: why the pair was vetoed and until when.

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"mtm"
+	"mtm/internal/admission"
 	"mtm/internal/span"
 )
 
@@ -132,6 +133,55 @@ func TestExplainOutput(t *testing.T) {
 	}
 	if got := strings.Count(s, "promote ") + strings.Count(s, "demote "); got < migrated {
 		t.Errorf("explain printed %d migration lines, trace has %d decisions", got, migrated)
+	}
+}
+
+// TestExplainAdmissionROI asserts admission-gated decisions render their
+// ROI evidence in the explain view: the admission rule names and the
+// roi/allowed/budget fields parsed from the span attributes.
+func TestExplainAdmissionROI(t *testing.T) {
+	cfg := mtm.DefaultConfig()
+	cfg.Scale = 512
+	cfg.OpsFactor = 0.25
+	cfg.Trace = &span.Config{}
+	cfg.Admission = &admission.Config{}
+	res, err := mtm.Run(cfg, "pingpong", "mtm")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := res.Spans.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	rep, err := analyze(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	var withROI int
+	for _, d := range rep.Decisions {
+		if d.HasROI {
+			withROI++
+		}
+	}
+	if withROI == 0 {
+		t.Fatal("no decision carries ROI evidence; admission spans not parsed")
+	}
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-explain", path}, &out, &errb); code != 0 {
+		t.Fatalf("spanreport exited %d: %s", code, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"rule=" + admission.RuleAdmitted, "roi=", "allowed=", "budget="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("explain output missing %q", want)
+		}
+	}
+	if got := strings.Count(s, "roi="); got < withROI {
+		t.Errorf("explain printed %d roi fields, trace has %d ROI decisions", got, withROI)
 	}
 }
 

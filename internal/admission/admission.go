@@ -1,0 +1,465 @@
+// Package admission implements migration admission control: a
+// deterministic gate in front of every planned page move that decides
+// admit, defer, or reject before the move consumes tier-pair bandwidth.
+//
+// The design follows TierBPF's argument that migration benefit must be
+// estimated online and low-ROI moves refused up front, and Nomad's
+// observation that unguarded migration actively hurts in ping-pong
+// regimes. Four mechanisms combine:
+//
+//   - Per-tier-pair token buckets, refilled lazily in *virtual* time,
+//     bound the byte rate each pair may spend on migration. Committed
+//     moves debit their bytes; aborted moves debit their wasted bytes
+//     at a penalty multiple, so a pair that keeps failing sheds its own
+//     budget and further moves defer until the bucket recovers.
+//   - An ROI estimator prices each move: expected stall nanoseconds
+//     saved over a retention horizon versus the copy cost of the page.
+//     Promotions below MinROI are rejected; demotion victims whose ROI
+//     still exceeds MaxVictimROI are rejected as too hot to evict.
+//   - A per-page cool-down with direction hysteresis suppresses
+//     ping-pong: a page that just demoted cannot immediately
+//     re-promote (and vice versa) until the cool-down expires. Moves
+//     that continue in the same direction stay allowed.
+//   - Load shedding under budget pressure: when a bucket runs below
+//     its low-water mark, marginal promotions (admittable but not
+//     clearly profitable) defer instead, reserving the remaining
+//     budget for high-ROI moves. A pair whose recent attempts mostly
+//     aborted (waste ratio over WasteCutoff) defers everything until
+//     its decaying waste ledger clears, probing half-open-style on the
+//     way back. An open health circuit breaker zeroes the pair's
+//     bucket outright.
+//
+// The package is pure bookkeeping over plain int node IDs and int64
+// virtual nanoseconds — no engine types, no wall clock, no RNG — so a
+// Controller behaves bit-identically at any worker count as long as its
+// methods are called from the serialized interval loop.
+package admission
+
+import "time"
+
+// Verdict is the outcome of an admission check.
+type Verdict uint8
+
+const (
+	// VerdictAdmit lets the move proceed, possibly for fewer bytes than
+	// asked (Decision.AllowedBytes).
+	VerdictAdmit Verdict = iota
+	// VerdictDefer refuses the move for now; it stays eligible and may
+	// be retried next interval once the pair's budget refills.
+	VerdictDefer
+	// VerdictReject refuses the move on its merits: the ROI does not
+	// justify the copy, or the victim is too hot to evict.
+	VerdictReject
+)
+
+// String returns the lower-case verdict name used as span outcome.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictAdmit:
+		return "admit"
+	case VerdictDefer:
+		return "defer"
+	default:
+		return "reject"
+	}
+}
+
+// Direction classifies a move relative to the tier order.
+type Direction uint8
+
+const (
+	// DirPromote moves pages toward a faster tier.
+	DirPromote Direction = iota
+	// DirDemote moves pages toward a slower tier.
+	DirDemote
+)
+
+// String returns the lower-case direction name.
+func (d Direction) String() string {
+	if d == DirDemote {
+		return "demote"
+	}
+	return "promote"
+}
+
+// Admission rule names, recorded in decision provenance so
+// `spanreport -explain` can say why a move was refused.
+const (
+	// RuleAdmitted marks an admitted move.
+	RuleAdmitted = "roi-admitted"
+	// RuleLowROI marks a promotion whose ROI falls below MinROI.
+	RuleLowROI = "roi-below-min"
+	// RuleVictimHot marks a demotion whose victim is still hot enough
+	// that evicting it would likely ping-pong straight back.
+	RuleVictimHot = "victim-too-hot"
+	// RuleBudget marks a move deferred because the pair's token bucket
+	// cannot cover even one page.
+	RuleBudget = "budget-exhausted"
+	// RuleShed marks a marginal promotion deferred under budget
+	// pressure (bucket below the low-water mark).
+	RuleShed = "low-roi-shed"
+	// RuleWaste marks a move deferred because the pair's recent waste
+	// ratio (aborted share of attempted bytes) crossed WasteCutoff.
+	RuleWaste = "waste-shed"
+)
+
+// Config tunes the admission layer. The zero value selects defaults
+// via WithDefaults; negative values disable the respective gate.
+type Config struct {
+	// BudgetFrac is the fraction of a tier pair's rated link bandwidth
+	// granted to migration, the token refill rate. Default 0.25.
+	BudgetFrac float64
+	// BurstIntervals sizes each bucket's burst capacity in multiples of
+	// one interval's refill; the burst also sets the waste ledger's
+	// decay window. Default 6.
+	BurstIntervals float64
+	// MinROI is the admission threshold for promotions: estimated
+	// stall-time saved divided by copy cost. Default 0.1 — lenient,
+	// because profiler hotness scales differ per policy (MTM reports
+	// per-page access averages, HeMem raw PEBS sample counts). ROI ≥ 1
+	// means the move pays for itself within HorizonIntervals.
+	// Negative disables the ROI gate.
+	MinROI float64
+	// MaxVictimROI rejects demotion victims whose own ROI (the benefit
+	// of *keeping* them fast) still exceeds this bound. Default 64.
+	// Negative disables the victim gate.
+	MaxVictimROI float64
+	// HorizonIntervals is the retention horizon the ROI estimator
+	// assumes: how many future intervals a moved page keeps its current
+	// access rate. Default 32.
+	HorizonIntervals float64
+	// PressureFactor multiplies MinROI while a bucket sits below its
+	// low-water mark, shedding marginal promotions. Default 4.
+	PressureFactor float64
+	// LowWaterFrac is the bucket fill fraction below which shedding
+	// kicks in. Default 0.25.
+	LowWaterFrac float64
+	// WastePenalty is the extra budget debit charged per wasted byte:
+	// an aborted move costs (1 + WastePenalty) times its bytes, so a
+	// flaky pair throttles itself. Default 4. Negative disables the
+	// penalty (aborts still debit their own bytes).
+	WastePenalty float64
+	// WasteCutoff is the pair waste ratio — aborted bytes over attempted
+	// bytes, decayed with a sliding window of one burst — above which
+	// further moves through the pair defer ("waste-shed"). The decay
+	// doubles as a half-open probe: once the decayed waste falls below
+	// one page, a single move is let through to test whether the pair
+	// has recovered. Default 0.5. Negative disables waste shedding.
+	WasteCutoff float64
+	// CoolDown is the per-page hysteresis window after a committed
+	// move, during which the page may not move in the opposite
+	// direction. Zero lets the engine default it to two intervals.
+	// Negative disables thrash suppression.
+	CoolDown time.Duration
+}
+
+// WithDefaults fills zero fields with the documented defaults.
+// Negative sentinels are clamped to "disabled" (zero thresholds).
+func (c Config) WithDefaults() Config {
+	if c.BudgetFrac == 0 {
+		c.BudgetFrac = 0.25
+	}
+	if c.BurstIntervals == 0 {
+		c.BurstIntervals = 6
+	}
+	if c.MinROI == 0 {
+		c.MinROI = 0.1
+	} else if c.MinROI < 0 {
+		c.MinROI = 0
+	}
+	if c.MaxVictimROI == 0 {
+		c.MaxVictimROI = 64
+	}
+	if c.HorizonIntervals == 0 {
+		c.HorizonIntervals = 32
+	}
+	if c.PressureFactor == 0 {
+		c.PressureFactor = 4
+	}
+	if c.LowWaterFrac == 0 {
+		c.LowWaterFrac = 0.25
+	}
+	if c.WastePenalty == 0 {
+		c.WastePenalty = 4
+	} else if c.WastePenalty < 0 {
+		c.WastePenalty = 0
+	}
+	if c.WasteCutoff == 0 {
+		c.WasteCutoff = 0.5
+	} else if c.WasteCutoff < 0 {
+		c.WasteCutoff = 2 // a ratio can never exceed 1: disabled
+	}
+	return c
+}
+
+// ROI estimates the return on investment of moving one page: the stall
+// nanoseconds the move is expected to save over the retention horizon,
+// divided by the nanoseconds the copy costs. whi is the profiler's
+// weighted hotness (accesses per page per interval on whatever scale
+// the active policy uses), reaccess the evidence-based likelihood the
+// page stays hot (see the engine's reaccess grading), horizon the
+// assumed retention in intervals, gapNs the per-access latency gap
+// between source and destination, and copyNsPerPage the copy cost.
+func ROI(whi, reaccess, horizon, gapNs, copyNsPerPage float64) float64 {
+	if copyNsPerPage <= 0 || whi <= 0 {
+		return 0
+	}
+	return whi * reaccess * horizon * gapNs / copyNsPerPage
+}
+
+// Decision reports one admission check, with enough evidence to
+// reconstruct why: the verdict, the rule that fired, the estimated ROI
+// and the threshold it was held against, the byte allowance granted,
+// and the pair's bucket level after refill.
+type Decision struct {
+	Verdict   Verdict
+	Rule      string
+	ROI       float64
+	Threshold float64
+	// AllowedBytes is the admitted byte allowance (page-aligned), zero
+	// unless Verdict is VerdictAdmit.
+	AllowedBytes int64
+	// BudgetBytes is the pair's token balance after refill, before any
+	// debit; negative means the pair is in debt from waste penalties.
+	BudgetBytes int64
+}
+
+// bucket is one tier pair's token-bucket state plus its waste ledger.
+type bucket struct {
+	rate   int64 // refill, bytes per virtual second
+	burst  int64 // capacity, bytes
+	tokens int64 // current balance; may go negative down to -burst
+	lastNs int64 // virtual time of the last refill
+	moved  int64 // committed bytes through this pair (window-decayed)
+	wasted int64 // aborted bytes through this pair (window-decayed)
+	winNs  int64 // waste-ledger decay window (one burst's worth of refill)
+	winAt  int64 // virtual time the current decay window started
+}
+
+// refill credits tokens for the virtual time elapsed since the last
+// refill, and halves the waste ledger once per elapsed decay window so
+// old aborts stop indicting a pair that has recovered. Sub-byte
+// remainders truncate — deterministically, since the computation is a
+// pure function of (rate, elapsed).
+func (b *bucket) refill(nowNs int64) {
+	if nowNs <= b.lastNs {
+		return
+	}
+	if b.rate > 0 {
+		b.tokens += int64(float64(b.rate) * float64(nowNs-b.lastNs) / 1e9)
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.lastNs = nowNs
+	if b.winNs > 0 && nowNs-b.winAt >= b.winNs {
+		k := (nowNs - b.winAt) / b.winNs
+		b.winAt += k * b.winNs
+		if k > 62 {
+			k = 62
+		}
+		b.moved >>= uint(k)
+		b.wasted >>= uint(k)
+	}
+}
+
+// debit charges n bytes, clamping debt at one burst so a storm of
+// waste penalties cannot dig a hole the pair never climbs out of.
+func (b *bucket) debit(n int64) {
+	b.tokens -= n
+	if b.tokens < -b.burst {
+		b.tokens = -b.burst
+	}
+}
+
+// cooldown is one page's hysteresis state: until when, and in which
+// direction the page last moved (same-direction moves stay allowed).
+type cooldown struct {
+	untilNs int64
+	dir     Direction
+}
+
+// Controller holds the admission state for one engine: an N×N matrix
+// of pair buckets and the per-page cool-down table. All methods must
+// be called from the serialized interval loop; none draws randomness
+// or reads the wall clock, and the cool-down map is never iterated, so
+// results are bit-identical at any worker count.
+type Controller struct {
+	cfg   Config
+	pairs []bucket // n*n, indexed src*n + dst
+	n     int
+	cool  map[uint64]cooldown
+}
+
+// NewController builds a controller for n nodes. Pair budgets start
+// unbounded (rate 0, no enforcement) until SetRate is called.
+func NewController(cfg Config, n int) *Controller {
+	return &Controller{
+		cfg:   cfg.WithDefaults(),
+		pairs: make([]bucket, n*n),
+		n:     n,
+		cool:  make(map[uint64]cooldown),
+	}
+}
+
+// Config returns the controller's effective (defaulted) configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+func (c *Controller) pair(src, dst int) *bucket {
+	if src < 0 || dst < 0 || src >= c.n || dst >= c.n || src == dst {
+		return nil
+	}
+	return &c.pairs[src*c.n+dst]
+}
+
+// SetRate fixes a pair's refill rate (bytes per virtual second) and
+// burst capacity. The bucket starts full so the first interval is not
+// artificially starved.
+func (c *Controller) SetRate(src, dst int, bytesPerSec, burst int64) {
+	b := c.pair(src, dst)
+	if b == nil {
+		return
+	}
+	b.rate = bytesPerSec
+	b.burst = burst
+	b.tokens = burst
+	if bytesPerSec > 0 {
+		b.winNs = burst * int64(time.Second) / bytesPerSec
+	}
+}
+
+// Tokens reports a pair's balance after refilling to nowNs.
+func (c *Controller) Tokens(src, dst int, nowNs int64) int64 {
+	b := c.pair(src, dst)
+	if b == nil {
+		return 0
+	}
+	b.refill(nowNs)
+	return b.tokens
+}
+
+// WasteRatio reports the pair's aborted share of attempted bytes.
+func (c *Controller) WasteRatio(src, dst int) float64 {
+	b := c.pair(src, dst)
+	if b == nil || b.moved+b.wasted == 0 {
+		return 0
+	}
+	return float64(b.wasted) / float64(b.moved+b.wasted)
+}
+
+// Admit prices one planned move of up to bytes from src to dst and
+// returns the verdict with full evidence. pageSize aligns the granted
+// allowance; roi is the caller's estimate (see ROI).
+func (c *Controller) Admit(src, dst int, dir Direction, roi float64, bytes, pageSize, nowNs int64) Decision {
+	d := Decision{ROI: roi}
+	b := c.pair(src, dst)
+	if b == nil || bytes <= 0 {
+		d.Verdict, d.Rule, d.AllowedBytes = VerdictAdmit, RuleAdmitted, bytes
+		return d
+	}
+	b.refill(nowNs)
+	d.BudgetBytes = b.tokens
+	if dir == DirDemote {
+		if c.cfg.MaxVictimROI > 0 && roi > c.cfg.MaxVictimROI {
+			d.Verdict, d.Rule, d.Threshold = VerdictReject, RuleVictimHot, c.cfg.MaxVictimROI
+			return d
+		}
+	} else {
+		if roi < c.cfg.MinROI {
+			d.Verdict, d.Rule, d.Threshold = VerdictReject, RuleLowROI, c.cfg.MinROI
+			return d
+		}
+		// Budget pressure: below the low-water mark only clearly
+		// profitable promotions spend what's left; marginal ones wait.
+		if low := int64(c.cfg.LowWaterFrac * float64(b.burst)); b.tokens < low {
+			if need := c.cfg.MinROI * c.cfg.PressureFactor; roi < need {
+				d.Verdict, d.Rule, d.Threshold = VerdictDefer, RuleShed, need
+				return d
+			}
+		}
+	}
+	// Waste shedding: a pair whose recent attempts mostly aborted stops
+	// accepting moves until the ledger decays. The wasted ≥ pageSize
+	// guard is the half-open probe — once decay brings the ledger under
+	// one page, a single move is admitted to test the pair.
+	if w := b.moved + b.wasted; w > 0 && (pageSize <= 0 || b.wasted >= pageSize) {
+		if ratio := float64(b.wasted) / float64(w); ratio >= c.cfg.WasteCutoff {
+			d.Verdict, d.Rule, d.Threshold = VerdictDefer, RuleWaste, c.cfg.WasteCutoff
+			return d
+		}
+	}
+	allowed := bytes
+	if b.rate > 0 && b.tokens < allowed {
+		allowed = b.tokens
+	}
+	if pageSize > 0 {
+		allowed -= allowed % pageSize
+	}
+	if allowed <= 0 || (pageSize > 0 && allowed < pageSize) {
+		d.Verdict, d.Rule = VerdictDefer, RuleBudget
+		return d
+	}
+	d.Verdict, d.Rule, d.AllowedBytes = VerdictAdmit, RuleAdmitted, allowed
+	return d
+}
+
+// Commit debits a committed move's bytes from its pair's bucket.
+func (c *Controller) Commit(src, dst int, bytes, nowNs int64) {
+	b := c.pair(src, dst)
+	if b == nil {
+		return
+	}
+	b.refill(nowNs)
+	b.debit(bytes)
+	b.moved += bytes
+}
+
+// Waste debits an aborted move's bytes at the waste-penalty multiple:
+// the feedback loop that makes a failing pair shed its own load.
+func (c *Controller) Waste(src, dst int, bytes, nowNs int64) {
+	b := c.pair(src, dst)
+	if b == nil {
+		return
+	}
+	b.refill(nowNs)
+	b.debit(bytes + int64(c.cfg.WastePenalty*float64(bytes)))
+	b.wasted += bytes
+}
+
+// ZeroBudget empties a pair's bucket and restarts its refill clock at
+// nowNs — the circuit-breaker hook: a pair whose breaker just tripped
+// must re-earn its budget from nothing.
+func (c *Controller) ZeroBudget(src, dst int, nowNs int64) {
+	b := c.pair(src, dst)
+	if b == nil {
+		return
+	}
+	if b.tokens > 0 {
+		b.tokens = 0
+	}
+	b.lastNs = nowNs
+}
+
+// PageAllowed reports whether a page (keyed by its address) may move
+// in dir at nowNs. Expired entries are dropped; moves continuing in
+// the page's last direction are always allowed — hysteresis only
+// blocks reversals, the ping-pong signature.
+func (c *Controller) PageAllowed(key uint64, dir Direction, nowNs int64) bool {
+	e, ok := c.cool[key]
+	if !ok {
+		return true
+	}
+	if nowNs >= e.untilNs {
+		delete(c.cool, key)
+		return true
+	}
+	return e.dir == dir
+}
+
+// NotePageMove stamps a committed move's cool-down on the page.
+func (c *Controller) NotePageMove(key uint64, dir Direction, nowNs int64) {
+	if c.cfg.CoolDown <= 0 {
+		return
+	}
+	c.cool[key] = cooldown{untilNs: nowNs + int64(c.cfg.CoolDown), dir: dir}
+}

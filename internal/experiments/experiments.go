@@ -197,7 +197,7 @@ func Fig4Overall(o Options) string {
 	cfg := o.config()
 	tb := stats.NewTable("workload", "solution", "exec", "normalized")
 	var warns []string
-	for _, wl := range mtm.WorkloadNames() {
+	for _, wl := range mtm.PaperWorkloadNames() {
 		var ft float64
 		for _, sol := range fig4Solutions {
 			res, err := mtm.Run(cfg, wl, sol)
@@ -220,7 +220,7 @@ func Fig5Breakdown(o Options) string {
 	sols := []string{"first-touch", "tiered-autonuma", "autotiering", "mtm"}
 	tb := stats.NewTable("workload", "solution", "app", "profiling", "migration", "total")
 	var warns []string
-	for _, wl := range mtm.WorkloadNames() {
+	for _, wl := range mtm.PaperWorkloadNames() {
 		for _, sol := range sols {
 			res, err := mtm.Run(cfg, wl, sol)
 			if res, err = note(&warns, res, err); err != nil {

@@ -109,7 +109,7 @@ func Fig10Alpha(o Options) string {
 	alphas := []float64{-1, 0.25, 0.5, 0.75, 1} // -1 encodes α=0
 	tb := stats.NewTable("workload", "alpha", "exec", "speedup vs α=1/2")
 	var warns []string
-	for _, wl := range mtm.WorkloadNames() {
+	for _, wl := range mtm.PaperWorkloadNames() {
 		var base float64
 		var rows []struct {
 			alpha float64
@@ -229,7 +229,7 @@ func Tab3HotPages(o Options) string {
 	cfg := o.config()
 	tb := stats.NewTable("workload", "solution", "hot identified (MB/interval)", "fast-tier accesses (M)")
 	var warns []string
-	for _, wl := range mtm.WorkloadNames() {
+	for _, wl := range mtm.PaperWorkloadNames() {
 		for _, sol := range []string{"vanilla-tiered-autonuma", "tiered-autonuma", "mtm"} {
 			s, err := mtm.NewSolution(sol, cfg)
 			if err != nil {
@@ -326,7 +326,7 @@ func Tab4InitialPlacement(o Options) string {
 func Tab5MemoryOverhead(o Options) string {
 	cfg := o.config()
 	tb := stats.NewTable("workload", "workload memory (MB)", "MTM overhead (KB)", "ratio")
-	for _, wl := range mtm.WorkloadNames() {
+	for _, wl := range mtm.PaperWorkloadNames() {
 		s, err := mtm.NewSolution("mtm", cfg)
 		if err != nil {
 			return err.Error()
@@ -373,7 +373,7 @@ func Tab6TierAccesses(o Options) string {
 func Tab7RegionStats(o Options) string {
 	cfg := o.config()
 	tb := stats.NewTable("workload", "intervals", "avg merged/PI", "avg split/PI", "avg regions/PI")
-	for _, wl := range mtm.WorkloadNames() {
+	for _, wl := range mtm.PaperWorkloadNames() {
 		s, err := mtm.NewSolution("mtm", cfg)
 		if err != nil {
 			return err.Error()

@@ -289,6 +289,12 @@ func rebind(e *sim.Engine, v *vm.VMA, cand []int, dst tier.NodeID, maxPages int,
 		if maxPages > 0 && attempted >= maxPages {
 			break
 		}
+		if !e.PageMoveAllowed(v, i, dst) {
+			// Thrash suppression: the page committed a move the other way
+			// inside its cool-down window; it neither opens a transaction
+			// nor consumes the page budget.
+			continue
+		}
 		src := v.Node(i)
 		if !e.MoveBegin(v, i, dst) {
 			break // destination full; partial move keeps accounting exact

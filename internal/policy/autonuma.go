@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"mtm/internal/admission"
 	"mtm/internal/migrate"
 	"mtm/internal/profiler"
 	"mtm/internal/region"
@@ -132,7 +133,13 @@ func (p *TieredAutoNUMA) IntervalEnd(e *sim.Engine) {
 		if pages == 0 {
 			break
 		}
-		need := int64(pages) * r.V.PageSize
+		need, verdict := admitMigration(e, r, node, dst, int64(pages)*r.V.PageSize)
+		if verdict != admission.VerdictAdmit {
+			// One-tier-up only: there is no alternative pair for this
+			// region, so a refusal skips it for this interval.
+			continue
+		}
+		pages = int(need / r.V.PageSize)
 		if e.Sys.Free(dst) < need {
 			p.demoteFor(e, regions, dst, need-e.Sys.Free(dst), view)
 		}
@@ -203,7 +210,12 @@ func (p *TieredAutoNUMA) demoteFor(e *sim.Engine, regions []*region.Region, dst 
 		if lower == tier.Invalid {
 			continue
 		}
-		rep := p.mech.Migrate(e, r.V, r.Start, r.End, lower, 0)
+		allowed, verdict := admitMigration(e, r, dst, lower, bytes)
+		if verdict != admission.VerdictAdmit {
+			// Victim too hot or pair budget drained; next-coldest.
+			continue
+		}
+		rep := p.mech.Migrate(e, r.V, r.Start, r.End, lower, int(allowed/r.V.PageSize))
 		if rep.Bytes > 0 {
 			freed += rep.Bytes
 			e.NoteDemotion(rep.Bytes)

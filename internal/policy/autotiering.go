@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"mtm/internal/admission"
 	"mtm/internal/migrate"
 	"mtm/internal/profiler"
 	"mtm/internal/region"
@@ -110,13 +111,25 @@ func (p *AutoTiering) IntervalEnd(e *sim.Engine) {
 			if !destUsable(e, r, node, dst) {
 				continue
 			}
-			if e.Sys.Free(dst) < need {
-				p.opportunisticDemote(e, regions, dst, need-e.Sys.Free(dst), view)
+			allowed, verdict := admitMigration(e, r, node, dst, need)
+			if verdict == admission.VerdictReject {
+				// Slower destinations only lower the ROI; give up on the
+				// region for this interval.
+				break
 			}
-			if e.Sys.Free(dst) < need {
+			if verdict == admission.VerdictDefer {
+				// Budget pressure on this pair; the next-fastest tier is
+				// a different pair and may still have budget.
 				continue
 			}
-			rep := p.mech.Migrate(e, r.V, r.Start, r.Start+pages, dst, 0)
+			aPages := int(allowed / r.V.PageSize)
+			if e.Sys.Free(dst) < allowed {
+				p.opportunisticDemote(e, regions, dst, allowed-e.Sys.Free(dst), view)
+			}
+			if e.Sys.Free(dst) < allowed {
+				continue
+			}
+			rep := p.mech.Migrate(e, r.V, r.Start, r.Start+aPages, dst, 0)
 			if rep.Bytes > 0 {
 				budget -= rep.Bytes
 				e.NotePromotion(rep.Bytes)
@@ -163,7 +176,13 @@ func (p *AutoTiering) opportunisticDemote(e *sim.Engine, regions []*region.Regio
 		if lower == tier.Invalid {
 			continue
 		}
-		rep := p.mech.Migrate(e, r.V, r.Start, r.End, lower, 0)
+		allowed, verdict := admitMigration(e, r, dst, lower, bytes)
+		if verdict != admission.VerdictAdmit {
+			// Even opportunistic demotion respects the victim-heat and
+			// budget gates; probe the next region.
+			continue
+		}
+		rep := p.mech.Migrate(e, r.V, r.Start, r.End, lower, int(allowed/r.V.PageSize))
 		if rep.Bytes > 0 {
 			freed += rep.Bytes
 			e.NoteDemotion(rep.Bytes)

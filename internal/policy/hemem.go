@@ -3,6 +3,7 @@ package policy
 import (
 	"time"
 
+	"mtm/internal/admission"
 	"mtm/internal/migrate"
 	"mtm/internal/pebs"
 	"mtm/internal/region"
@@ -162,14 +163,23 @@ func (p *HeMem) IntervalEnd(e *sim.Engine) {
 			// else to promote to.
 			break
 		}
-		bytes := r.Bytes()
+		bytes, verdict := admitMigration(e, r, pm, dram, r.Bytes())
+		if verdict == admission.VerdictReject {
+			// Not worth the copy; colder regions follow, so move on.
+			continue
+		}
+		if verdict == admission.VerdictDefer {
+			// Two-tier world view: the PM→DRAM pair is the only one, so
+			// budget pressure ends promotion for this interval.
+			break
+		}
 		if e.Sys.Free(dram) < bytes {
 			p.demoteCold(e, hist, dram, pm, bytes-e.Sys.Free(dram))
 		}
 		if e.Sys.Free(dram) < bytes {
 			break
 		}
-		rep := p.mech.Migrate(e, r.V, r.Start, r.End, dram, 0)
+		rep := p.mech.Migrate(e, r.V, r.Start, r.End, dram, int(bytes/r.V.PageSize))
 		if rep.Bytes > 0 {
 			budget -= rep.Bytes
 			e.NotePromotion(rep.Bytes)
@@ -199,7 +209,13 @@ func (p *HeMem) demoteCold(e *sim.Engine, hist *region.Histogram, dram, pm tier.
 		if e.Sys.Free(pm) < r.Bytes() {
 			return
 		}
-		rep := p.mech.Migrate(e, r.V, r.Start, r.End, pm, 0)
+		bytes, verdict := admitMigration(e, r, dram, pm, r.Bytes())
+		if verdict != admission.VerdictAdmit {
+			// Victim too hot to evict, or the demotion pair's budget is
+			// drained; try the next-coldest region.
+			continue
+		}
+		rep := p.mech.Migrate(e, r.V, r.Start, r.End, pm, int(bytes/r.V.PageSize))
 		if rep.Bytes > 0 {
 			freed += rep.Bytes
 			e.NoteDemotion(rep.Bytes)

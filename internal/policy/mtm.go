@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"mtm/internal/admission"
 	"mtm/internal/migrate"
 	"mtm/internal/profiler"
 	"mtm/internal/region"
@@ -175,6 +176,18 @@ func (p *MTM) promote(e *sim.Engine, hist *region.Histogram) {
 				continue
 			}
 			need := int64(minInt(maxPages, r.Pages())) * r.V.PageSize
+			allowed, verdict := admitMigration(e, r, nodeOf(r), dst, need)
+			if verdict == admission.VerdictReject {
+				// Not worth the copy at this hotness: every slower
+				// destination only lowers the ROI, so the region is done.
+				break
+			}
+			if verdict == admission.VerdictDefer {
+				// This pair's budget is under pressure; a slower tier is a
+				// different pair and may still have budget.
+				continue
+			}
+			need = allowed
 			if e.Sys.Free(dst) < need {
 				demoted := p.makeRoom(e, hist, dst, need-e.Sys.Free(dst), view, demoteBudget, r.WHI)
 				demoteBudget -= demoted
@@ -188,7 +201,7 @@ func (p *MTM) promote(e *sim.Engine, hist *region.Histogram) {
 				}
 				continue
 			}
-			rep := p.Mech.Migrate(e, r.V, r.Start, r.End, dst, maxPages)
+			rep := p.Mech.Migrate(e, r.V, r.Start, r.End, dst, minInt(maxPages, int(allowed/r.V.PageSize)))
 			if rep.Bytes > 0 {
 				spent += rep.Bytes
 				e.NotePromotion(rep.Bytes)
@@ -266,7 +279,14 @@ func (p *MTM) makeRoom(e *sim.Engine, hist *region.Histogram, node tier.NodeID, 
 		if dst == tier.Invalid {
 			continue
 		}
-		rep := p.Mech.Migrate(e, r.V, r.Start, r.End, dst, maxPages)
+		allowed, verdict := admitMigration(e, r, node, dst, bytes)
+		if verdict != admission.VerdictAdmit {
+			// Victim vetoed: its own ROI says it is still too hot to
+			// evict, or the demotion pair's budget is drained. Try the
+			// next-coldest victim.
+			continue
+		}
+		rep := p.Mech.Migrate(e, r.V, r.Start, r.End, dst, int(allowed/r.V.PageSize))
 		if rep.Bytes > 0 {
 			demoted += rep.Bytes
 			e.NoteDemotion(rep.Bytes)

@@ -6,6 +6,7 @@
 package policy
 
 import (
+	"mtm/internal/admission"
 	"mtm/internal/profiler"
 	"mtm/internal/region"
 	"mtm/internal/sim"
@@ -157,6 +158,52 @@ func destUsable(e *sim.Engine, r *region.Region, src, dst tier.NodeID) bool {
 		}
 	}
 	return false
+}
+
+// reaccessEvidence grades the likelihood that region r's pages stay hot,
+// from the profiler's history: sustained hotness across two consecutive
+// intervals counts full, freshly observed hotness slightly less, a
+// region the profiler did not sample this interval decays to an even
+// guess, and a sampled region that went quiet is heavily discounted.
+// The grades feed the admission ROI estimate — region reaccess evidence
+// is what separates a page worth copying from one that merely spiked.
+func reaccessEvidence(r *region.Region) float64 {
+	switch {
+	case !r.Sampled:
+		return 0.5
+	case r.HI > 0 && r.PrevHI > 0:
+		return 1.0
+	case r.HI > 0:
+		return 0.75
+	default:
+		return 0.25
+	}
+}
+
+// admitMigration gates one planned move of up to bytes of region r from
+// src to dst through the engine's admission layer, recording the
+// decision provenance with the estimated ROI, the threshold it was held
+// against, and the pair's budget balance. It returns the admitted byte
+// allowance — possibly clipped to the pair's token budget, zero when
+// the move was deferred or rejected — and the verdict for callers that
+// route differently on defer (try another destination) versus reject
+// (the region is not worth moving at all). With admission disabled the
+// full request is admitted and nothing is recorded, keeping baseline
+// runs bit-identical to the pre-admission policies.
+func admitMigration(e *sim.Engine, r *region.Region, src, dst tier.NodeID, bytes int64) (int64, admission.Verdict) {
+	if !e.AdmissionEnabled() || bytes <= 0 {
+		return bytes, admission.VerdictAdmit
+	}
+	dec := e.AdmitMigration(src, dst, bytes, r.V.PageSize, r.WHI, reaccessEvidence(r))
+	if e.SpansEnabled() {
+		spanDecision(e, dec.Verdict.String(), dec.Rule, r,
+			span.F("roi", dec.ROI),
+			span.F("threshold", dec.Threshold),
+			span.I("allowed_bytes", dec.AllowedBytes),
+			span.I("budget_bytes", dec.BudgetBytes),
+			span.S("dst", nodeName(e, dst)))
+	}
+	return dec.AllowedBytes, dec.Verdict
 }
 
 // spanDecision emits one migration-decision provenance event. The event

@@ -1,0 +1,206 @@
+// Engine-side admission-control wiring: the internal/admission layer
+// attached to the simulation. Disabled by default — an engine without
+// EnableAdmission runs exactly the pre-admission code (every check site
+// goes through nil-safe methods that admit unconditionally).
+//
+// Determinism contract: every admission decision, budget debit, and
+// cool-down stamp happens on the serialised interval loop, stamped with
+// the virtual clock. The controller never iterates its cool-down map
+// and never draws randomness, so admission-enabled runs stay
+// byte-identical at any Parallelism.
+package sim
+
+import (
+	"mtm/internal/admission"
+	"mtm/internal/tier"
+	"mtm/internal/vm"
+)
+
+// admissionState bundles the controller and its config behind one nil
+// check.
+type admissionState struct {
+	cfg admission.Config
+	ctl *admission.Controller
+}
+
+// EnableAdmission attaches the migration admission-control subsystem
+// (idempotent). Must be called after Interval is set: a zero
+// Config.CoolDown defaults to twice the profiling interval, and bucket
+// burst capacities are sized in interval multiples. Each tier pair's
+// refill rate is BudgetFrac of the pair's rated link bandwidth (the
+// slower end of src and dst as seen from the home socket).
+func (e *Engine) EnableAdmission(cfg admission.Config) {
+	if e.adm != nil {
+		return
+	}
+	cfg = cfg.WithDefaults()
+	if cfg.CoolDown == 0 {
+		cfg.CoolDown = 2 * e.Interval
+	}
+	nodes := e.Sys.Topo.Nodes
+	ctl := admission.NewController(cfg, len(nodes))
+	links := e.Sys.Topo.Links[e.HomeSocket]
+	for s := range nodes {
+		for d := range nodes {
+			if s == d {
+				continue
+			}
+			bw := links[s].Bandwidth
+			if links[d].Bandwidth < bw {
+				bw = links[d].Bandwidth
+			}
+			rate := int64(cfg.BudgetFrac * float64(bw))
+			burst := int64(float64(rate) * cfg.BurstIntervals * e.Interval.Seconds())
+			ctl.SetRate(s, d, rate, burst)
+		}
+	}
+	e.adm = &admissionState{cfg: cfg, ctl: ctl}
+}
+
+// AdmissionEnabled reports whether the admission subsystem is attached.
+func (e *Engine) AdmissionEnabled() bool { return e.adm != nil }
+
+// AdmissionConfig returns the active admission configuration (defaults
+// applied); the zero Config when admission is disabled.
+func (e *Engine) AdmissionConfig() admission.Config {
+	if e.adm == nil {
+		return admission.Config{}
+	}
+	return e.adm.cfg
+}
+
+// moveDirection classifies a src→dst move against the home socket's
+// tier order: toward a faster tier is a promotion, anything else
+// (slower or lateral) a demotion.
+func (e *Engine) moveDirection(src, dst tier.NodeID) admission.Direction {
+	if e.Sys.Topo.Rank(e.HomeSocket, dst) < e.Sys.Topo.Rank(e.HomeSocket, src) {
+		return admission.DirPromote
+	}
+	return admission.DirDemote
+}
+
+// MigrationROI estimates the return on investment of moving one page
+// of the given size from src to dst: the per-access latency gap (rated
+// link latencies, home socket) times the expected accesses over the
+// retention horizon, divided by the pair's copy cost. whi is the
+// profiler's weighted hotness on whatever scale the active policy
+// uses; reaccess the evidence-graded likelihood the page stays hot.
+func (e *Engine) MigrationROI(src, dst tier.NodeID, pageSize int64, whi, reaccess float64) float64 {
+	if e.adm == nil || int(src) < 0 || int(dst) < 0 {
+		return 0
+	}
+	lat := e.latCache[e.HomeSocket]
+	gap := float64(lat[src] - lat[dst])
+	if gap < 0 {
+		gap = -gap
+	}
+	copyNs := float64(e.Sys.CopyTime(e.HomeSocket, src, dst, pageSize))
+	return admission.ROI(whi, reaccess, e.adm.cfg.HorizonIntervals, gap, copyNs)
+}
+
+// AdmitMigration prices one planned move of up to bytes from src to
+// dst and decides admit/defer/reject, recording the outcome in the
+// engine counters, metrics, and event ring. Without the subsystem (or
+// for unattributable pairs) it admits unconditionally, keeping
+// admission-free runs bit-identical to the pre-admission engine.
+func (e *Engine) AdmitMigration(src, dst tier.NodeID, bytes, pageSize int64, whi, reaccess float64) admission.Decision {
+	if e.adm == nil || int(src) < 0 || int(dst) < 0 || src == dst {
+		return admission.Decision{
+			Verdict:      admission.VerdictAdmit,
+			Rule:         admission.RuleAdmitted,
+			AllowedBytes: bytes,
+		}
+	}
+	e.assertOwned("AdmitMigration")
+	dir := e.moveDirection(src, dst)
+	roi := e.MigrationROI(src, dst, pageSize, whi, reaccess)
+	dec := e.adm.ctl.Admit(int(src), int(dst), dir, roi, bytes, pageSize, e.SpanClockNs())
+	switch dec.Verdict {
+	case admission.VerdictAdmit:
+		e.AdmissionAdmits++
+		if e.met != nil {
+			e.met.admAdmitted.Inc()
+		}
+	case admission.VerdictDefer:
+		e.AdmissionDefers++
+		if e.met != nil {
+			e.met.admDeferred.Inc()
+			e.emitEventOnce(EventAdmissionDefer, e.met.pairName[src][dst], bytes)
+		}
+	case admission.VerdictReject:
+		e.AdmissionRejects++
+		if e.met != nil {
+			e.met.admRejected.Inc()
+			e.emitEventOnce(EventAdmissionReject, e.met.pairName[src][dst], bytes)
+		}
+	}
+	return dec
+}
+
+// PageMoveAllowed consults the thrash detector for one page about to
+// move to dst: a page still inside the cool-down window of a committed
+// move may not reverse direction. Suppressed pages are counted but not
+// individually traced (a thrash storm would flood the ring; the
+// per-pair event below is deduplicated per interval). Always true
+// without the subsystem.
+func (e *Engine) PageMoveAllowed(v *vm.VMA, idx int, dst tier.NodeID) bool {
+	if e.adm == nil {
+		return true
+	}
+	e.assertOwned("PageMoveAllowed")
+	src := v.Node(idx)
+	if int(src) < 0 || int(dst) < 0 || src == dst {
+		return true
+	}
+	if e.adm.ctl.PageAllowed(v.Addr(idx), e.moveDirection(src, dst), e.SpanClockNs()) {
+		return true
+	}
+	e.ThrashSuppressed++
+	if e.met != nil {
+		e.met.admThrash.Inc()
+		e.emitEventOnce(EventThrashSuppressed, e.met.pairName[src][dst], int64(idx))
+	}
+	return false
+}
+
+// admissionMoveCommitted debits a committed move from its pair's
+// bucket and stamps the page's cool-down (hysteresis against an
+// immediate reversal). Called from MoveCommit with the begin-time src.
+func (e *Engine) admissionMoveCommitted(v *vm.VMA, idx int, src, dst tier.NodeID) {
+	if e.adm == nil || int(src) < 0 || int(dst) < 0 || src == dst {
+		return
+	}
+	now := e.SpanClockNs()
+	e.adm.ctl.Commit(int(src), int(dst), v.PageSize, now)
+	e.adm.ctl.NotePageMove(v.Addr(idx), e.moveDirection(src, dst), now)
+}
+
+// admissionMoveAborted charges an aborted move's wasted bytes to its
+// pair at the waste-penalty multiple: the load-shedding feedback loop.
+// Called from MoveAborted with the begin-time src.
+func (e *Engine) admissionMoveAborted(pageSize int64, src, dst tier.NodeID) {
+	if e.adm == nil || int(src) < 0 || int(dst) < 0 || src == dst {
+		return
+	}
+	e.adm.ctl.Waste(int(src), int(dst), pageSize, e.SpanClockNs())
+}
+
+// admissionBreakerTrip zeroes a pair's budget when its health circuit
+// breaker trips: the pair must re-earn its bandwidth from nothing once
+// the breaker half-opens. Called from recordMoveAbort on a trip.
+func (e *Engine) admissionBreakerTrip(src, dst tier.NodeID) {
+	if e.adm == nil || int(src) < 0 || int(dst) < 0 {
+		return
+	}
+	e.adm.ctl.ZeroBudget(int(src), int(dst), e.SpanClockNs())
+}
+
+// AdmissionTokens reports a pair's current budget balance (after
+// refill to the current virtual time); 0 when admission is disabled.
+// Exposed for tests and operator tooling.
+func (e *Engine) AdmissionTokens(src, dst tier.NodeID) int64 {
+	if e.adm == nil {
+		return 0
+	}
+	return e.adm.ctl.Tokens(int(src), int(dst), e.SpanClockNs())
+}

@@ -111,10 +111,12 @@ type Engine struct {
 
 	sol    Solution
 	faults FaultPlane
-	failed error          // sticky first failure (e.g. *OOMError)
-	met    *engineMetrics // nil unless EnableMetrics was called
-	sp     *span.Tracer   // nil unless EnableSpans was called
-	hlt    *healthState   // nil unless EnableHealth was called
+	failed error           // sticky first failure (e.g. *OOMError)
+	met    *engineMetrics  // nil unless EnableMetrics was called
+	sp     *span.Tracer    // nil unless EnableSpans was called
+	hlt    *healthState    // nil unless EnableHealth was called
+	adm    *admissionState // nil unless EnableAdmission was called
+	evSeen map[string]struct{} // per-interval event dedup (emitEventOnce)
 
 	// Open page-move transaction (MoveBegin → MoveCommit/MoveAborted).
 	// The source node is captured at begin time so the outcome is
@@ -162,6 +164,12 @@ type Engine struct {
 	DrainedBytes     int64 // bytes evacuated off draining tiers
 	BreakerTrips     int64 // migration circuit-breaker trips
 	DrainStalls      int64 // drain steps stalled with no destination
+
+	// Admission-control accounting (non-zero only with EnableAdmission).
+	AdmissionAdmits  int64 // planned moves admitted (possibly clipped)
+	AdmissionDefers  int64 // planned moves deferred (budget / shedding)
+	AdmissionRejects int64 // planned moves rejected (ROI / victim heat)
+	ThrashSuppressed int64 // page moves blocked by the ping-pong cool-down
 
 	// Committed-move ledger and residency bookkeeping for Audit.
 	committedPages int64
@@ -452,6 +460,14 @@ type Result struct {
 	// without the health subsystem.
 	TierStates []string `json:",omitempty"`
 
+	// Admission-control accounting (present only when the admission
+	// subsystem ran; omitted otherwise so admission-free Result JSON is
+	// unchanged).
+	AdmissionAdmits  int64 `json:",omitempty"`
+	AdmissionDefers  int64 `json:",omitempty"`
+	AdmissionRejects int64 `json:",omitempty"`
+	ThrashSuppressed int64 `json:",omitempty"`
+
 	// Metrics is the full observability export (instrument values,
 	// per-interval time series, event log) when the engine ran with
 	// EnableMetrics; nil otherwise.
@@ -504,6 +520,10 @@ func Run(e *Engine, w Workload, sol Solution, maxIntervals int) (*Result, error)
 		DrainedBytes:       e.DrainedBytes,
 		BreakerTrips:       e.BreakerTrips,
 		DrainStalls:        e.DrainStalls,
+		AdmissionAdmits:    e.AdmissionAdmits,
+		AdmissionDefers:    e.AdmissionDefers,
+		AdmissionRejects:   e.AdmissionRejects,
+		ThrashSuppressed:   e.ThrashSuppressed,
 		TierStates:         e.TierStates(),
 		Metrics:            e.MetricsExport(),
 		Spans:              e.SpansExport(),

@@ -135,6 +135,7 @@ func (e *Engine) recordMoveAbort(src, dst tier.NodeID) {
 		return
 	}
 	e.BreakerTrips++
+	e.admissionBreakerTrip(src, dst)
 	if e.met != nil {
 		e.met.breakerTrips.Inc()
 		e.met.reg.Emit(EventBreakerTrip, e.met.pairName[src][dst], e.hlt.breaker.Trips(int(src), int(dst)))
@@ -206,7 +207,7 @@ func (e *Engine) poisonPage(v *vm.VMA, idx int) {
 	e.PoisonedPages++
 	if e.met != nil {
 		e.met.poisonedPages.Inc()
-		e.met.reg.Emit(EventMemPoison, e.Sys.Topo.Nodes[n].Name, int64(idx))
+		e.emitEventOnce(EventMemPoison, e.Sys.Topo.Nodes[n].Name, int64(idx))
 	}
 	if e.sp != nil {
 		e.SpanEvent("health", "poison",
@@ -401,7 +402,7 @@ func (e *Engine) drainNode(node tier.NodeID) {
 			health.ErrNoDestination, e.Sys.Topo.Nodes[node].Name, len(pages)-committed)
 		if e.met != nil {
 			e.met.drainStalls.Inc()
-			e.met.reg.Emit(EventDrainStall, e.Sys.Topo.Nodes[node].Name, int64(len(pages)-committed))
+			e.emitEventOnce(EventDrainStall, e.Sys.Topo.Nodes[node].Name, int64(len(pages)-committed))
 		}
 		if e.sp != nil {
 			e.SpanEvent("health", "drain-stall",

@@ -49,6 +49,17 @@ const (
 	// EventDrainStall: a draining tier found no destination with room;
 	// Detail names the node, Value the resident pages left behind.
 	EventDrainStall = "drain-stall"
+	// EventAdmissionDefer: admission control deferred a planned move
+	// under budget pressure; Detail is the src->dst pair, Value the
+	// requested bytes.
+	EventAdmissionDefer = "admission-defer"
+	// EventAdmissionReject: admission control rejected a planned move on
+	// its ROI; Detail is the src->dst pair, Value the requested bytes.
+	EventAdmissionReject = "admission-reject"
+	// EventThrashSuppressed: the ping-pong detector blocked a page from
+	// reversing direction inside its cool-down; Detail is the src->dst
+	// pair, Value the page index of the first suppressed page.
+	EventThrashSuppressed = "thrash-suppressed"
 )
 
 // engineMetrics holds the engine's pre-registered instrument handles. All
@@ -80,6 +91,13 @@ type engineMetrics struct {
 	drainStalls       *metrics.Counter
 	breakerTrips      *metrics.Counter
 	healthTransitions *metrics.Counter
+
+	// Admission-control instruments (registered unconditionally; they
+	// stay at zero unless EnableAdmission is active).
+	admAdmitted *metrics.Counter
+	admDeferred *metrics.Counter
+	admRejected *metrics.Counter
+	admThrash   *metrics.Counter
 
 	nodeAccesses []*metrics.Counter // per node
 	contention   []*metrics.Gauge   // per node
@@ -132,6 +150,10 @@ func (e *Engine) EnableMetrics() *metrics.Registry {
 	m.drainStalls = reg.Counter("mtm_health_drain_stalls_total", "drain steps stalled with no destination")
 	m.breakerTrips = reg.Counter("mtm_health_breaker_trips_total", "migration circuit-breaker trips")
 	m.healthTransitions = reg.Counter("mtm_health_transitions_total", "tier health-state transitions")
+	m.admAdmitted = reg.Counter("mtm_admission_admitted_total", "planned moves admitted by admission control")
+	m.admDeferred = reg.Counter("mtm_admission_deferred_total", "planned moves deferred by admission control (budget pressure)")
+	m.admRejected = reg.Counter("mtm_admission_rejected_total", "planned moves rejected by admission control (ROI)")
+	m.admThrash = reg.Counter("mtm_admission_thrash_suppressed_total", "page moves blocked by the ping-pong cool-down")
 
 	nodes := e.Sys.Topo.Nodes
 	m.nodeAccesses = make([]*metrics.Counter, len(nodes))
@@ -205,6 +227,28 @@ func pairCounter(m [][]*metrics.Counter, src, dst tier.NodeID) *metrics.Counter 
 	return row[dst]
 }
 
+// emitEventOnce emits a metrics event at most once per (type, detail)
+// pair per interval. Recurring per-page conditions — repeated aborts on
+// one flaky pair, drain stalls retried every interval, thrash storms —
+// would otherwise flood the bounded event ring and evict the diverse
+// evidence it exists to keep; the first occurrence per interval carries
+// the value, later ones only bump their counters. The seen-set is only
+// ever probed by key (never iterated), so it cannot leak map order.
+func (e *Engine) emitEventOnce(typ, detail string, value int64) {
+	if e.met == nil {
+		return
+	}
+	key := typ + "\x00" + detail
+	if _, dup := e.evSeen[key]; dup {
+		return
+	}
+	if e.evSeen == nil {
+		e.evSeen = make(map[string]struct{})
+	}
+	e.evSeen[key] = struct{}{}
+	e.met.reg.Emit(typ, detail, value)
+}
+
 // metricsBeginInterval stamps the registry with the interval about to run
 // and emits activation events for any fault-injection classes whose storm
 // windows opened (the plane advertises them via ActiveClasses).
@@ -212,6 +256,7 @@ func (e *Engine) metricsBeginInterval() {
 	if e.met == nil {
 		return
 	}
+	clear(e.evSeen)
 	e.met.reg.SetNow(e.Intervals, int64(e.clock))
 	if a, ok := e.faults.(interface{ ActiveClasses() []string }); ok {
 		for _, class := range a.ActiveClasses() {

@@ -123,7 +123,7 @@ func (e *Engine) NoteDeferredPromotion() {
 func (e *Engine) NoteDeferredPromotionTo(dst tier.NodeID) {
 	e.NoteDeferredPromotion()
 	if e.met != nil {
-		e.met.reg.Emit(EventPromotionDeferred, e.Sys.Topo.Nodes[dst].Name, 0)
+		e.emitEventOnce(EventPromotionDeferred, e.Sys.Topo.Nodes[dst].Name, 0)
 	}
 	if e.sp != nil {
 		e.SpanEvent("policy", "promotion-deferred",
@@ -199,6 +199,7 @@ func (e *Engine) MoveCommit(v *vm.VMA, idx int, dst tier.NodeID) {
 	e.committedPages++
 	e.committedBytes += v.PageSize
 	e.recordMoveSuccess(src, dst)
+	e.admissionMoveCommitted(v, idx, src, dst)
 	if e.met != nil {
 		pairCounter(e.met.movedPages, src, dst).Inc()
 	}
@@ -223,7 +224,7 @@ func (e *Engine) MoveAborted(v *vm.VMA, idx int, dst tier.NodeID) {
 		e.met.wastedBytes.Add(v.PageSize)
 		pairCounter(e.met.abortedPages, src, dst).Inc()
 		if int(src) >= 0 && int(src) < len(e.met.pairName) {
-			e.met.reg.Emit(EventMigrationAbort, e.met.pairName[src][dst], int64(idx))
+			e.emitEventOnce(EventMigrationAbort, e.met.pairName[src][dst], int64(idx))
 		}
 	}
 	if e.sp != nil {
@@ -238,6 +239,7 @@ func (e *Engine) MoveAborted(v *vm.VMA, idx int, dst tier.NodeID) {
 			span.I("page", int64(idx)),
 			span.I("wasted_bytes", v.PageSize))
 	}
+	e.admissionMoveAborted(v.PageSize, src, dst)
 	e.recordMoveAbort(src, dst)
 }
 
@@ -315,7 +317,7 @@ func (e *Engine) emergencyReclaim(socket int, need int64) tier.NodeID {
 			e.EmergencyDemotions++
 			if e.met != nil {
 				e.met.emergencies.Inc()
-				e.met.reg.Emit(EventEmergencyDemotion, e.Sys.Topo.Nodes[cand].Name, need)
+				e.emitEventOnce(EventEmergencyDemotion, e.Sys.Topo.Nodes[cand].Name, need)
 			}
 			if e.sp != nil {
 				e.SpanEvent("emergency", "emergency-demotion",

@@ -30,6 +30,7 @@ import (
 	"sort"
 	"time"
 
+	"mtm/internal/admission"
 	"mtm/internal/fault"
 	"mtm/internal/health"
 	"mtm/internal/migrate"
@@ -100,6 +101,15 @@ type Config struct {
 	// The zero Config selects the defaults; output is byte-identical at
 	// every Parallelism. Nil adds zero overhead to the hot path.
 	Trace *span.Config
+	// Admission, when non-nil, enables migration admission control: every
+	// planned page move passes an ROI gate, a per-tier-pair token-bucket
+	// bandwidth budget, and a ping-pong cool-down before any page is
+	// touched. Refusals (defer/reject) are recorded in the Result counters,
+	// the metrics layer, and — with Trace enabled — as span provenance with
+	// the estimated ROI. The zero admission.Config selects the defaults;
+	// nil adds zero overhead and keeps results bit-identical to a build
+	// without the layer. Results stay byte-identical at every Parallelism.
+	Admission *admission.Config
 	// Health enables the tier-health subsystem (memory-error poisoning,
 	// tier draining/offlining, migration circuit breakers) even without a
 	// fault scenario. Scenarios that inject memory errors or tier
@@ -217,6 +227,11 @@ func NewEngine(c Config) *sim.Engine {
 		// the profiling interval.
 		e.EnableHealth(health.Config{})
 	}
+	if c.Admission != nil {
+		// Also after Interval is set: budgets refill per profiling
+		// interval and the thrash cool-down defaults to twice of it.
+		e.EnableAdmission(*c.Admission)
+	}
 	return e
 }
 
@@ -226,13 +241,16 @@ func (c Config) workloadConfig() workload.Config {
 	return workload.Config{Scale: c.Scale, OpsFactor: c.OpsFactor}
 }
 
-// NewWorkload builds one of the Table 2 workloads by name:
-// gups, voltdb, cassandra, bfs, sssp, spark.
+// NewWorkload builds one of the Table 2 workloads by name (gups, voltdb,
+// cassandra, bfs, sssp, spark) or the synthetic thrash generator
+// "pingpong" used by the admission-control experiments.
 func NewWorkload(name string, c Config) (sim.Workload, error) {
 	wc := c.workloadConfig()
 	switch name {
 	case "gups":
 		return workload.NewGUPS(wc), nil
+	case "pingpong":
+		return workload.NewPingPong(wc), nil
 	case "voltdb":
 		return workload.NewVoltDB(wc), nil
 	case "cassandra":
@@ -247,8 +265,16 @@ func NewWorkload(name string, c Config) (sim.Workload, error) {
 	return nil, fmt.Errorf("mtm: unknown workload %q (have %v)", name, WorkloadNames())
 }
 
-// WorkloadNames lists the available workloads.
+// WorkloadNames lists the available workloads. The first six are the
+// paper's Table 2 applications (see PaperWorkloadNames); pingpong is the
+// synthetic thrash generator for the admission-control experiments.
 func WorkloadNames() []string {
+	return []string{"gups", "voltdb", "cassandra", "bfs", "sssp", "spark", "pingpong"}
+}
+
+// PaperWorkloadNames lists only the Table 2 applications — the set every
+// paper table and figure iterates over.
+func PaperWorkloadNames() []string {
 	return []string{"gups", "voltdb", "cassandra", "bfs", "sssp", "spark"}
 }
 

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"testing"
 
+	"mtm/internal/admission"
 	"mtm/internal/sim"
 	"mtm/internal/span"
 )
@@ -74,6 +75,18 @@ func TestParallelDeterminismMatrix(t *testing.T) {
 			hc.Audit = true
 			t.Run("gups/mtm/"+h.name, func(t *testing.T) { runPair(t, hc, "gups", "mtm") })
 		}
+		// Admission-enabled variants: the ROI gate, pair budgets, waste
+		// ledgers and the thrash cool-down all mutate on the serialized
+		// loop, so an admission-controlled run — including one where the
+		// ping-pong workload hammers the cool-down and a flaky tier feeds
+		// the waste ledger — must stay bit-identical too.
+		ac := cfg
+		ac.Admission = &admission.Config{}
+		t.Run("pingpong/mtm/admission", func(t *testing.T) { runPair(t, ac, "pingpong", "mtm") })
+		af := ac
+		af.Faults = "cxl-flaky"
+		af.Audit = true
+		t.Run("pingpong/mtm/admission/cxl-flaky", func(t *testing.T) { runPair(t, af, "pingpong", "mtm") })
 		return
 	}
 	for _, wl := range WorkloadNames() {
@@ -94,6 +107,24 @@ func TestParallelDeterminismMatrix(t *testing.T) {
 				runPair(t, hc, "gups", sol)
 			})
 		}
+	}
+	// Admission-enabled sweep over every migrating solution, on the
+	// workload built to trigger its every code path, with and without a
+	// flaky tier feeding the waste ledger.
+	for _, sol := range SolutionNames() {
+		ac := cfg
+		ac.Admission = &admission.Config{}
+		t.Run("pingpong/"+sol+"/admission", func(t *testing.T) {
+			t.Parallel()
+			runPair(t, ac, "pingpong", sol)
+		})
+		af := ac
+		af.Faults = "cxl-flaky"
+		af.Audit = true
+		t.Run("pingpong/"+sol+"/admission/cxl-flaky", func(t *testing.T) {
+			t.Parallel()
+			runPair(t, af, "pingpong", sol)
+		})
 	}
 }
 
@@ -200,6 +231,21 @@ func TestParallelDeterminismFaults(t *testing.T) {
 	cfg.OpsFactor = 0.25
 	cfg.Faults = "ebusy-storm"
 	runPair(t, cfg, "gups", "mtm")
+}
+
+// TestParallelDeterminismAdmissionSpans pins the determinism invariant
+// on admission provenance: every admit/defer/reject decision span — ROI,
+// threshold, allowance, pair budget — must appear identically, in the
+// same order, at any worker count, even while a flaky tier keeps the
+// waste ledger and the breaker hook busy.
+func TestParallelDeterminismAdmissionSpans(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 512
+	cfg.OpsFactor = 0.25
+	cfg.Admission = &admission.Config{}
+	cfg.Faults = "cxl-flaky"
+	cfg.Audit = true
+	runSpanSet(t, cfg, "pingpong", "mtm")
 }
 
 // TestParallelDeterminismHealthSpans pins the determinism invariant on
