@@ -1,0 +1,44 @@
+package mtm_test
+
+import (
+	"testing"
+
+	"mtm/internal/policy"
+	"mtm/internal/profiler"
+	"mtm/internal/sim"
+	"mtm/internal/tier"
+)
+
+// TestScanSteadyZeroAlloc pins the zero-allocation property of the
+// scan-steady profiling path: with fixed regions and one worker, an MTM
+// profiling interval after warm-up reuses per-shard scratch (RNG, sample
+// buffers, membership bitsets), per-region Samples/Observed capacity, and
+// the cached shard function — so it never touches the heap. CI enforces
+// the same bound on BenchmarkScanSteady via the benchjson -max-allocs
+// gate; this test catches regressions without running benchmarks.
+//
+// Adaptive region formation and multi-worker runs are excluded on
+// purpose: merge/split churn creates regions (which must allocate) and
+// the pool's fork/join spawns goroutines.
+func TestScanSteadyZeroAlloc(t *testing.T) {
+	e := sim.NewEngine(tier.OptaneTopology(64), 1)
+	e.Par = sim.NewPool(1)
+	e.SetSolution(policy.NewFirstTouch())
+	e.Interval = 10 * 1e9 / 64
+	e.AS.THP = false
+	v := e.AS.Alloc("b", 256<<20)
+	for i := 0; i < v.NPages; i++ {
+		e.Access(v, i, uint32(1+i%97), 0, 0)
+	}
+	pc := profiler.DefaultMTMConfig()
+	pc.UsePEBS = false
+	pc.AdaptiveRegions = false
+	m := profiler.NewMTM(pc)
+	m.Attach(e)
+	for i := 0; i < 3; i++ {
+		m.Profile(e) // warm-up: size scratch, region buffers, shard tallies
+	}
+	if got := testing.AllocsPerRun(20, func() { m.Profile(e) }); got != 0 {
+		t.Errorf("scan-steady Profile allocates %.1f objects per interval, want 0", got)
+	}
+}

@@ -25,6 +25,24 @@
 // an absolute ceiling on the ratio (0 disables it); use it on runners
 // with a known core count to demand a minimum speedup, e.g.
 // -max-ratio 0.5 insists on >= 2x.
+//
+// Two further gates run against the current summary alone (no baseline
+// involvement, so they hold absolutely rather than relatively):
+//
+//   - -min-speedup N requires ParallelSpeedup — ns/op of
+//     BenchmarkIntervalWorkers/w1 over /w8, the same interval at 1 vs 8
+//     workers — to be at least N. Like IntervalRatio it cancels the
+//     runner's absolute speed, but it measures the speedup directly at a
+//     fixed worker count instead of at GOMAXPROCS. Only meaningful on
+//     multi-core runners.
+//   - -max-allocs name=N[,name=N...] caps allocs/op of the named
+//     benchmarks (requires -benchmem output); the zero-allocation
+//     scan-steady contract is enforced with BenchmarkScanSteady=0.
+//
+// The diff against the baseline is symmetric: benchmarks present in the
+// run but absent from the baseline fail the gate, and so do stale
+// baseline entries naming benchmarks the run no longer has — both mean
+// the checked-in baseline needs regenerating.
 package main
 
 import (
@@ -37,6 +55,7 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // Summary is the checked-in benchmark baseline / CI artifact layout.
@@ -47,13 +66,17 @@ type Summary struct {
 	// IntervalRatio is parallel/sequential interval ns/op; 0 when either
 	// benchmark is missing.
 	IntervalRatio float64 `json:"interval_ratio,omitempty"`
+	// ParallelSpeedup is w1/w8 interval ns/op from the fixed-worker-count
+	// sub-benchmarks; 0 when either is missing. On an N-core runner with
+	// N >= 8 this is the parallel speedup of the sharded hot path.
+	ParallelSpeedup float64 `json:"parallel_speedup,omitempty"`
 }
 
 // Entry is one benchmark's summary.
 type Entry struct {
 	NsPerOp float64 `json:"ns_per_op"`
 	// AllocsPerOp comes from -benchmem output (the minimum-ns/op line);
-	// informational only — the gate never compares it.
+	// compared only by the -max-allocs gate.
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 	Runs        int     `json:"runs"`
 }
@@ -61,6 +84,8 @@ type Entry struct {
 const (
 	seqBench = "BenchmarkIntervalSequential"
 	parBench = "BenchmarkIntervalParallel"
+	w1Bench  = "BenchmarkIntervalWorkers/w1"
+	w8Bench  = "BenchmarkIntervalWorkers/w8"
 )
 
 // benchLine matches one `go test -bench` result line, with or without the
@@ -108,7 +133,32 @@ func parse(r io.Reader) (*Summary, error) {
 	if okSeq && okPar && seq.NsPerOp > 0 {
 		s.IntervalRatio = par.NsPerOp / seq.NsPerOp
 	}
+	w1, ok1 := s.Benchmarks[w1Bench]
+	w8, ok8 := s.Benchmarks[w8Bench]
+	if ok1 && ok8 && w8.NsPerOp > 0 {
+		s.ParallelSpeedup = w1.NsPerOp / w8.NsPerOp
+	}
 	return s, nil
+}
+
+// parseMaxAllocs parses the -max-allocs spec "name=limit[,name=limit...]".
+func parseMaxAllocs(spec string) (map[string]float64, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	caps := map[string]float64{}
+	for _, part := range strings.Split(spec, ",") {
+		name, limit, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("benchjson: -max-allocs entry %q is not name=limit", part)
+		}
+		v, err := strconv.ParseFloat(limit, 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("benchjson: -max-allocs limit in %q: want a non-negative number", part)
+		}
+		caps[name] = v
+	}
+	return caps, nil
 }
 
 func load(path string) (*Summary, error) {
@@ -136,7 +186,7 @@ func write(path string, s *Summary) error {
 	return os.WriteFile(path, b, 0o644)
 }
 
-func compare(cur, base *Summary, threshold, maxRatio float64) error {
+func compare(cur, base *Summary, threshold, maxRatio, minSpeedup float64, maxAllocs map[string]float64) error {
 	if cur.IntervalRatio == 0 {
 		return fmt.Errorf("current summary lacks %s/%s; cannot gate", parBench, seqBench)
 	}
@@ -173,8 +223,22 @@ func compare(cur, base *Summary, threshold, maxRatio float64) error {
 			fmt.Println()
 		}
 	}
+	// The reverse direction matters too: baseline entries for benchmarks
+	// the current run no longer produces mean the benchmark was renamed
+	// or deleted without regenerating the baseline. Silently ignoring
+	// them would let the checked-in file rot.
+	var stale []string
+	for n := range base.Benchmarks {
+		if _, ok := cur.Benchmarks[n]; !ok {
+			stale = append(stale, n)
+		}
+	}
+	sort.Strings(stale)
 	if len(missing) > 0 {
 		return fmt.Errorf("baseline lacks benchmark(s) %v present in the current run; regenerate it with `go test -bench Interval ... | benchjson -out BENCH_baseline.json`", missing)
+	}
+	if len(stale) > 0 {
+		return fmt.Errorf("baseline names benchmark(s) %v that the current run did not produce; the benchmark was renamed or removed — regenerate the baseline", stale)
 	}
 	if len(zero) > 0 {
 		return fmt.Errorf("baseline has zero/missing ns/op for benchmark(s) %v; the baseline file is corrupt or hand-edited — regenerate it", zero)
@@ -185,6 +249,31 @@ func compare(cur, base *Summary, threshold, maxRatio float64) error {
 	}
 	if maxRatio > 0 && cur.IntervalRatio > maxRatio {
 		return fmt.Errorf("interval ratio %.4f exceeds the absolute ceiling %.2f (insufficient parallel speedup)", cur.IntervalRatio, maxRatio)
+	}
+	if minSpeedup > 0 {
+		if cur.ParallelSpeedup == 0 {
+			return fmt.Errorf("-min-speedup given but the current summary lacks %s/%s", w1Bench, w8Bench)
+		}
+		fmt.Printf("parallel speedup (w1/w8 ns/op): %.2fx (floor %.2fx)\n", cur.ParallelSpeedup, minSpeedup)
+		if cur.ParallelSpeedup < minSpeedup {
+			return fmt.Errorf("parallel speedup %.2fx below the %.2fx floor (w1=%s w8=%s)",
+				cur.ParallelSpeedup, minSpeedup, w1Bench, w8Bench)
+		}
+	}
+	allocNames := make([]string, 0, len(maxAllocs))
+	for n := range maxAllocs {
+		allocNames = append(allocNames, n)
+	}
+	sort.Strings(allocNames)
+	for _, n := range allocNames {
+		c, ok := cur.Benchmarks[n]
+		if !ok {
+			return fmt.Errorf("-max-allocs names %s but the current summary lacks it", n)
+		}
+		fmt.Printf("  %-40s allocs=%.0f/op (cap %.0f)\n", n, c.AllocsPerOp, maxAllocs[n])
+		if c.AllocsPerOp > maxAllocs[n] {
+			return fmt.Errorf("%s allocates %.0f objects/op, cap is %.0f", n, c.AllocsPerOp, maxAllocs[n])
+		}
 	}
 	return nil
 }
@@ -197,11 +286,18 @@ func main() {
 		baseline  = flag.String("baseline", "", "compare mode: baseline summary JSON")
 		threshold = flag.Float64("threshold", 0.20, "allowed relative interval-ratio regression")
 		maxRatio  = flag.Float64("max-ratio", 0, "absolute interval-ratio ceiling (0 = disabled)")
+		minSpeed  = flag.Float64("min-speedup", 0, "w1/w8 parallel-speedup floor (0 = disabled)")
+		allocSpec = flag.String("max-allocs", "", "allocs/op caps as name=limit[,name=limit...]")
 	)
 	flag.Parse()
 
 	if (*current == "") != (*baseline == "") {
 		fmt.Fprintln(os.Stderr, "benchjson: -current and -baseline must be given together")
+		os.Exit(2)
+	}
+	maxAllocs, err := parseMaxAllocs(*allocSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	if *current != "" {
@@ -210,7 +306,7 @@ func main() {
 			var base *Summary
 			base, err = load(*baseline)
 			if err == nil {
-				err = compare(cur, base, *threshold, *maxRatio)
+				err = compare(cur, base, *threshold, *maxRatio, *minSpeed, maxAllocs)
 			}
 		}
 		if err != nil {

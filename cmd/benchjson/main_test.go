@@ -16,6 +16,9 @@ BenchmarkIntervalSequential 	       1	   5200000 ns/op
 BenchmarkIntervalParallel-4   	       1	   1500000 ns/op	  204800 B/op	     123 allocs/op
 BenchmarkIntervalParallel-4   	       1	   1700000 ns/op	  204800 B/op	     456 allocs/op
 BenchmarkGUPSInterval         	       2	    900000 ns/op
+BenchmarkIntervalWorkers/w1-8 	       1	   4000000 ns/op	     100 B/op	       2 allocs/op
+BenchmarkIntervalWorkers/w8-8 	       1	   1000000 ns/op	     800 B/op	      16 allocs/op
+BenchmarkScanSteady           	     100	    700000 ns/op	       0 B/op	       0 allocs/op
 PASS
 ok  	mtm	0.077s
 `
@@ -48,6 +51,14 @@ func TestParseKeepsMinAndStripsSuffix(t *testing.T) {
 	if math.Abs(s.IntervalRatio-want) > 1e-9 {
 		t.Fatalf("interval ratio %f, want %f", s.IntervalRatio, want)
 	}
+	// Sub-benchmark names keep their /wN suffix (only the GOMAXPROCS tag
+	// is stripped) and derive the fixed-worker-count speedup.
+	if _, ok := s.Benchmarks["BenchmarkIntervalWorkers/w1"]; !ok {
+		t.Fatal("sub-benchmark name mangled")
+	}
+	if math.Abs(s.ParallelSpeedup-4.0) > 1e-9 {
+		t.Fatalf("parallel speedup %f, want 4.0 (w1/w8)", s.ParallelSpeedup)
+	}
 }
 
 func TestParseRejectsEmptyInput(t *testing.T) {
@@ -59,19 +70,83 @@ func TestParseRejectsEmptyInput(t *testing.T) {
 func TestCompareGate(t *testing.T) {
 	base := &Summary{IntervalRatio: 0.50}
 	ok := &Summary{IntervalRatio: 0.55, Benchmarks: map[string]Entry{}}
-	if err := compare(ok, base, 0.20, 0); err != nil {
+	if err := compare(ok, base, 0.20, 0, 0, nil); err != nil {
 		t.Fatalf("10%% drift rejected: %v", err)
 	}
 	bad := &Summary{IntervalRatio: 0.65, Benchmarks: map[string]Entry{}}
-	if err := compare(bad, base, 0.20, 0); err == nil {
+	if err := compare(bad, base, 0.20, 0, 0, nil); err == nil {
 		t.Fatal("30% regression passed the gate")
 	}
 	// Absolute ceiling: insist on a minimum speedup regardless of drift.
-	if err := compare(ok, base, 0.20, 0.5); err == nil {
+	if err := compare(ok, base, 0.20, 0.5, 0, nil); err == nil {
 		t.Fatal("ratio above -max-ratio passed")
 	}
-	if err := compare(&Summary{}, base, 0.20, 0); err == nil {
+	if err := compare(&Summary{}, base, 0.20, 0, 0, nil); err == nil {
 		t.Fatal("summary without interval benchmarks passed")
+	}
+}
+
+// TestCompareSpeedupGate: -min-speedup holds the w1/w8 speedup to an
+// absolute floor and fails loudly when the worker sub-benchmarks were
+// not run at all.
+func TestCompareSpeedupGate(t *testing.T) {
+	base := &Summary{IntervalRatio: 0.50}
+	fast := &Summary{IntervalRatio: 0.50, ParallelSpeedup: 3.1, Benchmarks: map[string]Entry{}}
+	if err := compare(fast, base, 0.20, 0, 2.0, nil); err != nil {
+		t.Fatalf("3.1x speedup rejected at 2.0x floor: %v", err)
+	}
+	slow := &Summary{IntervalRatio: 0.50, ParallelSpeedup: 1.4, Benchmarks: map[string]Entry{}}
+	if err := compare(slow, base, 0.20, 0, 2.0, nil); err == nil {
+		t.Fatal("1.4x speedup passed a 2.0x floor")
+	}
+	none := &Summary{IntervalRatio: 0.50, Benchmarks: map[string]Entry{}}
+	if err := compare(none, base, 0.20, 0, 2.0, nil); err == nil {
+		t.Fatal("missing worker sub-benchmarks passed -min-speedup")
+	}
+}
+
+// TestCompareAllocsGate: -max-allocs caps allocs/op per named benchmark
+// and fails when the named benchmark is absent from the run.
+func TestCompareAllocsGate(t *testing.T) {
+	base := &Summary{
+		IntervalRatio: 0.50,
+		Benchmarks:    map[string]Entry{"BenchmarkScanSteady": {NsPerOp: 7e5, Runs: 1}},
+	}
+	cur := &Summary{
+		IntervalRatio: 0.50,
+		Benchmarks:    map[string]Entry{"BenchmarkScanSteady": {NsPerOp: 7e5, AllocsPerOp: 0, Runs: 1}},
+	}
+	if err := compare(cur, base, 0.20, 0, 0, map[string]float64{"BenchmarkScanSteady": 0}); err != nil {
+		t.Fatalf("zero-alloc benchmark rejected at cap 0: %v", err)
+	}
+	cur.Benchmarks["BenchmarkScanSteady"] = Entry{NsPerOp: 7e5, AllocsPerOp: 3, Runs: 1}
+	err := compare(cur, base, 0.20, 0, 0, map[string]float64{"BenchmarkScanSteady": 0})
+	if err == nil {
+		t.Fatal("3 allocs/op passed a cap of 0")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkScanSteady") {
+		t.Fatalf("error does not name the benchmark: %v", err)
+	}
+	if err := compare(cur, base, 0.20, 0, 0, map[string]float64{"BenchmarkMissing": 0}); err == nil {
+		t.Fatal("-max-allocs naming an absent benchmark passed")
+	}
+}
+
+func TestParseMaxAllocs(t *testing.T) {
+	caps, err := parseMaxAllocs("BenchmarkScanSteady=0, BenchmarkOther=12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if caps["BenchmarkScanSteady"] != 0 || caps["BenchmarkOther"] != 12 {
+		t.Fatalf("caps = %v", caps)
+	}
+	for _, bad := range []string{"NoEquals", "Bench=-1", "Bench=abc"} {
+		if _, err := parseMaxAllocs(bad); err == nil {
+			t.Fatalf("%q accepted", bad)
+		}
+	}
+	if caps, err := parseMaxAllocs(""); err != nil || caps != nil {
+		t.Fatalf("empty spec: caps=%v err=%v", caps, err)
 	}
 }
 
@@ -92,12 +167,42 @@ func TestCompareMissingBaselineEntry(t *testing.T) {
 			"BenchmarkIntervalSequential": {NsPerOp: 5e6, Runs: 3},
 		},
 	}
-	err := compare(cur, base, 0.20, 0)
+	err := compare(cur, base, 0.20, 0, 0, nil)
 	if err == nil {
 		t.Fatal("missing baseline entry passed the gate")
 	}
 	if !strings.Contains(err.Error(), "BenchmarkNewHotness") {
 		t.Fatalf("error does not name the missing benchmark: %v", err)
+	}
+	if !strings.Contains(err.Error(), "regenerate") {
+		t.Fatalf("error does not advise regenerating the baseline: %v", err)
+	}
+}
+
+// TestCompareStaleBaselineEntry: the reverse of the test above — a
+// baseline entry for a benchmark the current run no longer produces
+// (renamed or deleted) must fail the gate naming the stale entry, not be
+// silently ignored.
+func TestCompareStaleBaselineEntry(t *testing.T) {
+	cur := &Summary{
+		IntervalRatio: 0.50,
+		Benchmarks: map[string]Entry{
+			"BenchmarkIntervalSequential": {NsPerOp: 5e6, Runs: 3},
+		},
+	}
+	base := &Summary{
+		IntervalRatio: 0.50,
+		Benchmarks: map[string]Entry{
+			"BenchmarkIntervalSequential": {NsPerOp: 5e6, Runs: 3},
+			"BenchmarkRenamedAway":        {NsPerOp: 1e6, Runs: 3},
+		},
+	}
+	err := compare(cur, base, 0.20, 0, 0, nil)
+	if err == nil {
+		t.Fatal("stale baseline entry passed the gate")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkRenamedAway") {
+		t.Fatalf("error does not name the stale benchmark: %v", err)
 	}
 	if !strings.Contains(err.Error(), "regenerate") {
 		t.Fatalf("error does not advise regenerating the baseline: %v", err)
@@ -120,7 +225,7 @@ func TestCompareZeroBaselineNsPerOp(t *testing.T) {
 			"BenchmarkIntervalSequential": {NsPerOp: 0, Runs: 3},
 		},
 	}
-	err := compare(cur, base, 0.20, 0)
+	err := compare(cur, base, 0.20, 0, 0, nil)
 	if err == nil {
 		t.Fatal("zero baseline ns/op passed the gate")
 	}

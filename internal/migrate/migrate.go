@@ -11,6 +11,7 @@ package migrate
 
 import (
 	"math"
+	"math/bits"
 	"time"
 
 	"mtm/internal/sim"
@@ -223,11 +224,26 @@ func spanCandidates(e *sim.Engine, v *vm.VMA, start, end int, dst tier.NodeID) (
 	parts := make([]part, nShards)
 	e.Parallel(nShards, func(s int) {
 		lo, hi := sim.ShardSpan(n, migrateShardPages, s)
+		lo, hi = start+lo, start+hi
 		p := &parts[s]
-		for i := start + lo; i < start+hi; i++ {
-			p.writes += v.WriteCount(i)
-			if v.Present(i) && v.Node(i) != dst {
-				p.cand = append(p.cand, i)
+		// Word-wide: write counts are non-zero only on touched pages, and
+		// candidates only on present ones; both planes narrow the walk.
+		// Set bits are consumed in ascending page order, preserving the
+		// sequential candidate order exactly.
+		for w := lo / vm.WordPages; w*vm.WordPages < hi; w++ {
+			tw := v.TouchedRangeWord(w, lo, hi)
+			for tw != 0 {
+				i := w*vm.WordPages + bits.TrailingZeros64(tw)
+				tw &= tw - 1
+				p.writes += v.WriteCount(i)
+			}
+			pw := v.PresentRangeWord(w, lo, hi)
+			for pw != 0 {
+				i := w*vm.WordPages + bits.TrailingZeros64(pw)
+				pw &= pw - 1
+				if v.Node(i) != dst {
+					p.cand = append(p.cand, i)
+				}
 			}
 		}
 	})

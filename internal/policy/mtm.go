@@ -1,6 +1,8 @@
 package policy
 
 import (
+	"math/bits"
+
 	"mtm/internal/admission"
 	"mtm/internal/migrate"
 	"mtm/internal/profiler"
@@ -135,14 +137,17 @@ func (p *MTM) promote(e *sim.Engine, hist *region.Histogram) {
 		socket := regionSocket(e, r)
 		view := e.Sys.Topo.View(socket)
 		// worstRank is the slowest placement of any page in the region;
-		// partially promoted regions keep their remainder eligible.
+		// partially promoted regions keep their remainder eligible. The
+		// present plane narrows the walk to mapped pages word-wide.
 		worstRank := 0
-		for i := r.Start; i < r.End; i++ {
-			if !r.V.Present(i) {
-				continue
-			}
-			if rk := rankOf(view, r.V.Node(i)); rk > worstRank {
-				worstRank = rk
+		for w := r.Start / vm.WordPages; w*vm.WordPages < r.End; w++ {
+			word := r.V.PresentRangeWord(w, r.Start, r.End)
+			for word != 0 {
+				i := w*vm.WordPages + bits.TrailingZeros64(word)
+				word &= word - 1
+				if rk := rankOf(view, r.V.Node(i)); rk > worstRank {
+					worstRank = rk
+				}
 			}
 		}
 		if worstRank <= 0 {

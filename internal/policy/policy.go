@@ -87,10 +87,8 @@ func place(e *sim.Engine, v *vm.VMA, socket int, p Placement) tier.NodeID {
 // §6.2 multi-view arbitration channel (hint faults reveal the accessing
 // CPU). Falls back to the engine's home socket for untouched regions.
 func regionSocket(e *sim.Engine, r *region.Region) int {
-	for i := r.Start; i < r.End; i++ {
-		if r.V.Present(i) {
-			return r.V.LastSocket(i)
-		}
+	if i := r.V.FirstPresent(r.Start, r.End); i >= 0 {
+		return r.V.LastSocket(i)
 	}
 	return e.HomeSocket
 }

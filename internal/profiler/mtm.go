@@ -1,6 +1,7 @@
 package profiler
 
 import (
+	"math"
 	"time"
 
 	"mtm/internal/pebs"
@@ -78,6 +79,104 @@ type MTM struct {
 
 	pm          profMetrics
 	lastDropped int64 // buffer's cumulative drop count at last Profile
+
+	// logw caches log1p(-ScanWindowFrac) for the per-page observation
+	// model (vm.ObserveScansL).
+	logw float64
+
+	// Reusable per-interval buffers, indexed by region position in the
+	// set's address-ordered slice (stable for the whole Profile call).
+	// They replace the per-interval map allocations of the old hot path;
+	// after warm-up the steady-state scan path allocates nothing.
+	profiled   []bool       // region receives PTE scans this interval
+	kept       []pebsKept   // PEBS hits + first-4 kept pages per region
+	attrParts  [][]attrPair // per-shard attribution slots
+	shardScans []int64      // per-shard scan tallies (span emission order)
+	shardPages []int64
+	gen        uint32 // profiling generation for region selection stamps
+
+	// scanFn caches the scan-shard function across intervals: a fresh
+	// closure per Profile call was the last steady-state allocation. Its
+	// per-interval inputs travel through the scan* fields below, set
+	// immediately before Parallel and valid only during the call.
+	scanFn      func(int)
+	scanEngine  *sim.Engine
+	scanRegions []*region.Region
+	scanPEBS    bool
+}
+
+// pebsKept is the per-region PEBS evidence of one interval: how many
+// samples hit the region and the first (up to) four distinct sampled
+// pages, which the PTE scans profile preferentially (§5.2).
+type pebsKept struct {
+	hits  int32
+	n     int8
+	pages [4]int32
+}
+
+// attrPair is one PEBS sample resolved to (region index, page).
+type attrPair struct{ region, page int32 }
+
+// scanShard profiles one shard's run of regions: it draws sample pages
+// and scan observations from its own per-shard stream (reseeded into its
+// scratch slot's RNG) and writes only the per-region fields of regions it
+// owns plus its scratch tallies. m.kept/m.profiled are read-only here;
+// VMA state is only read (ObserveScansL models the scan against the
+// touched plane, it does not clear bits).
+func (m *MTM) scanShard(s int) {
+	e, regions := m.scanEngine, m.scanRegions
+	sc := e.ShardScratch(s)
+	rng := sc.Rand(e, sim.SaltPTEScan, s)
+	lo, hi := sim.ShardSpan(len(regions), scanShardRegions, s)
+	var scans, nPages int64
+	for i, r := range regions[lo:hi] {
+		if !m.profiled[lo+i] {
+			// Event-driven: no PEBS event means no observed traffic;
+			// the region is cold this interval without spending scans.
+			r.PrevHI = r.HI
+			r.HI = 0
+			r.Samples = r.Samples[:0]
+			r.Observed = r.Observed[:0]
+			r.Sampled = true
+			continue
+		}
+		n := r.Quota
+		if n < 1 {
+			n = 1
+		}
+		pages := r.Samples[:0]
+		if m.scanPEBS {
+			if k := &m.kept[lo+i]; k.n > 0 {
+				// PEBS-captured pages first (§5.2), random samples for
+				// the remaining quota.
+				for _, p := range k.pages[:k.n] {
+					pages = append(pages, int(p))
+				}
+			}
+		}
+		if n > len(pages) {
+			pages = samplePagesInto(pages, sc, rng, r.Start, r.End, n-len(pages))
+		}
+		r.Samples = pages
+		r.Observed = r.Observed[:0]
+		sum := 0
+		for _, p := range pages {
+			obs := vm.ObserveScansL(r.V, p, m.Cfg.NumScans, m.Cfg.ScanWindowFrac, m.logw, rng)
+			r.Observed = append(r.Observed, obs)
+			sum += obs
+		}
+		scans += int64(len(pages) * m.Cfg.NumScans)
+		nPages += int64(len(pages))
+		r.PrevHI = r.HI
+		if len(pages) > 0 {
+			r.HI = float64(sum) / float64(len(pages))
+		} else {
+			r.HI = 0
+		}
+		r.Sampled = true
+	}
+	m.shardScans[s] = scans
+	m.shardPages[s] = nPages
 }
 
 // NewMTM creates the profiler with the given config.
@@ -88,7 +187,7 @@ func NewMTM(cfg MTMConfig) *MTM {
 	if cfg.ScanWindowFrac <= 0 {
 		cfg.ScanWindowFrac = 0.003
 	}
-	return &MTM{Cfg: cfg, topVar: region.NewTopVariance(5)}
+	return &MTM{Cfg: cfg, topVar: region.NewTopVariance(5), logw: math.Log1p(-cfg.ScanWindowFrac)}
 }
 
 func (m *MTM) Name() string { return "mtm-profiler" }
@@ -180,37 +279,40 @@ func (m *MTM) Profile(e *sim.Engine) {
 	// their sample slice against the region table (read-only binary
 	// searches) into private slots; the merge below replays the resolved
 	// pairs in sample order, so the kept-pages rule (first four distinct
-	// pages per region) matches the sequential walk exactly.
-	var pebsHits map[*region.Region]int
-	var pebsPages map[*region.Region][]int
-	if m.buf != nil {
+	// pages per region) matches the sequential walk exactly. All
+	// per-region evidence lands in m.kept, indexed by region position —
+	// no per-interval maps.
+	usePEBS := m.buf != nil
+	if usePEBS {
 		m.buf.Disarm()
-		pebsHits = make(map[*region.Region]int)
-		pebsPages = make(map[*region.Region][]int)
+		m.kept = growClear(m.kept, len(regions))
 		samples := m.buf.Samples()
 		m.pm.pebsKept.Add(int64(len(samples)))
 		if d := int64(m.buf.Dropped()); d > m.lastDropped {
 			m.pm.pebsDropped.Add(d - m.lastDropped)
 			m.lastDropped = d
 		}
-		type attributed struct{ region, page int }
-		shards := m.buf.Partition(pebsShardSamples)
-		parts := make([][]attributed, len(shards))
-		e.Parallel(len(shards), func(s int) {
-			out := make([]attributed, 0, len(shards[s]))
-			for _, smp := range shards[s] {
+		nAttr := sim.NumShards(len(samples), pebsShardSamples)
+		for len(m.attrParts) < nAttr {
+			m.attrParts = append(m.attrParts, nil)
+		}
+		e.Parallel(nAttr, func(s int) {
+			lo, hi := sim.ShardSpan(len(samples), pebsShardSamples, s)
+			out := m.attrParts[s][:0]
+			for _, smp := range samples[lo:hi] {
 				if ri := findRegionIndex(regions, smp.VMA, smp.Page); ri >= 0 {
-					out = append(out, attributed{ri, smp.Page})
+					out = append(out, attrPair{int32(ri), int32(smp.Page)})
 				}
 			}
-			parts[s] = out
+			m.attrParts[s] = out
 		})
-		for _, part := range parts {
+		for _, part := range m.attrParts[:nAttr] {
 			for _, a := range part {
-				r := regions[a.region]
-				pebsHits[r]++
-				if pp := pebsPages[r]; len(pp) < 4 && !containsInt(pp, a.page) {
-					pebsPages[r] = append(pp, a.page)
+				k := &m.kept[a.region]
+				k.hits++
+				if k.n < 4 && !containsInt32(k.pages[:k.n], a.page) {
+					k.pages[k.n] = a.page
+					k.n++
 				}
 			}
 		}
@@ -220,75 +322,27 @@ func (m *MTM) Profile(e *sim.Engine) {
 		if spanning {
 			e.SpanEmit("profiling", "pebs-attribution", e.SpanClockNs(), int64(handling),
 				span.I("samples", int64(len(samples))),
-				span.I("shards", int64(len(shards))))
+				span.I("shards", int64(nAttr)))
 		}
 		e.ChargeProfiling(handling)
 		m.pm.scanNs.AddDuration(handling)
 	}
 
 	// Decide which regions to profile and trim quotas to budget.
-	profiled := m.profiledSet(regions, pebsHits)
+	profiled := m.profiledSet(regions)
 	m.enforceQuota(e, regions, profiled)
 
-	// Scan. Each shard owns a fixed run of regions: it draws sample pages
-	// and scan observations from its own ShardRand stream and writes only
-	// the per-region fields of regions it owns (plus its private scan
-	// tally). pebsPages/profiled are read-only here; VMA state is only
-	// read (ObserveScans models the scan, it does not clear bits).
+	// Scan (see scanShard for the per-shard work and its write set).
 	nShards := sim.NumShards(len(regions), scanShardRegions)
-	shardScans := make([]int64, nShards)
-	shardPages := make([]int64, nShards)
-	e.Parallel(nShards, func(s int) {
-		rng := e.ShardRand(sim.SaltPTEScan, s)
-		lo, hi := sim.ShardSpan(len(regions), scanShardRegions, s)
-		var scans, nPages int64
-		for _, r := range regions[lo:hi] {
-			if !profiled[r] {
-				// Event-driven: no PEBS event means no observed traffic;
-				// the region is cold this interval without spending scans.
-				r.PrevHI = r.HI
-				r.HI = 0
-				r.Samples = r.Samples[:0]
-				r.Observed = r.Observed[:0]
-				r.Sampled = true
-				continue
-			}
-			n := r.Quota
-			if n < 1 {
-				n = 1
-			}
-			var pages []int
-			if pp := pebsPages[r]; len(pp) > 0 {
-				// PEBS-captured pages first (§5.2), random samples for the
-				// remaining quota.
-				pages = append(pages, pp...)
-				if n > len(pages) {
-					pages = append(pages, samplePages(rng, r.Start, r.End, n-len(pages))...)
-				}
-			} else {
-				pages = samplePages(rng, r.Start, r.End, n)
-			}
-			r.Samples = pages
-			r.Observed = r.Observed[:0]
-			sum := 0
-			for _, p := range pages {
-				obs := vm.ObserveScans(r.V, p, m.Cfg.NumScans, m.Cfg.ScanWindowFrac, rng)
-				r.Observed = append(r.Observed, obs)
-				sum += obs
-			}
-			scans += int64(len(pages) * m.Cfg.NumScans)
-			nPages += int64(len(pages))
-			r.PrevHI = r.HI
-			if len(pages) > 0 {
-				r.HI = float64(sum) / float64(len(pages))
-			} else {
-				r.HI = 0
-			}
-			r.Sampled = true
-		}
-		shardScans[s] = scans
-		shardPages[s] = nPages
-	})
+	m.shardScans = growClear(m.shardScans, nShards)
+	m.shardPages = growClear(m.shardPages, nShards)
+	m.scanEngine, m.scanRegions, m.scanPEBS = e, regions, usePEBS
+	if m.scanFn == nil {
+		m.scanFn = m.scanShard
+	}
+	e.Parallel(nShards, m.scanFn)
+	m.scanEngine, m.scanRegions = nil, nil
+	shardScans, shardPages := m.shardScans[:nShards], m.shardPages[:nShards]
 	var totalScans, totalPages int64
 	for s := range shardScans {
 		totalScans += shardScans[s]
@@ -347,32 +401,36 @@ func (m *MTM) Profile(e *sim.Engine) {
 
 // profiledSet decides which regions receive PTE scans this interval: with
 // PEBS assistance, slow-tier regions only when the counters saw traffic;
-// all fast-tier regions always (§5.2 "initial page sampling").
-func (m *MTM) profiledSet(regions []*region.Region, pebsHits map[*region.Region]int) map[*region.Region]bool {
+// all fast-tier regions always (§5.2 "initial page sampling"). The
+// decision lands both in the returned index-parallel []bool (for the scan
+// shards) and as a generation stamp on each region, so holders of region
+// pointers from a previous interval — the top-variance list survives
+// merge/split — read a stale region as not-selected.
+func (m *MTM) profiledSet(regions []*region.Region) []bool {
+	m.gen++
 	usePEBS := m.Cfg.UsePEBS && m.buf != nil
-	out := make(map[*region.Region]bool, len(regions))
-	for _, r := range regions {
-		if !usePEBS {
-			out[r] = true
-			continue
+	m.profiled = growClear(m.profiled, len(regions))
+	for i, r := range regions {
+		sel := true
+		if usePEBS {
+			node := RegionNode(r)
+			switch {
+			case node == tier.Invalid:
+				sel = false // nothing mapped yet
+			case m.isPMNode[node]:
+				sel = m.kept[i].hits > 0
+			}
 		}
-		node := RegionNode(r)
-		if node == tier.Invalid {
-			continue // nothing mapped yet
-		}
-		if m.isPMNode[node] {
-			out[r] = pebsHits[r] > 0
-		} else {
-			out[r] = true
-		}
+		m.profiled[i] = sel
+		r.SetProfiled(m.gen, sel)
 	}
-	return out
+	return m.profiled
 }
 
-func (m *MTM) enforceQuota(e *sim.Engine, regions []*region.Region, profiled map[*region.Region]bool) {
+func (m *MTM) enforceQuota(e *sim.Engine, regions []*region.Region, profiled []bool) {
 	total := 0
-	for _, r := range regions {
-		if profiled[r] {
+	for i, r := range regions {
+		if profiled[i] {
 			if r.Quota < 1 {
 				r.Quota = 1
 			}
@@ -386,11 +444,11 @@ func (m *MTM) enforceQuota(e *sim.Engine, regions []*region.Region, profiled map
 	// budget holds (or every region is at the 1-sample floor).
 	for total > m.budget {
 		trimmed := false
-		for _, r := range regions {
+		for i, r := range regions {
 			if total <= m.budget {
 				break
 			}
-			if profiled[r] && r.Quota > 1 {
+			if profiled[i] && r.Quota > 1 {
 				r.Quota--
 				total--
 				trimmed = true
@@ -417,7 +475,7 @@ func (m *MTM) enforceQuota(e *sim.Engine, regions []*region.Region, profiled map
 				if boost == 0 {
 					break
 				}
-				if profiled[r] && r.Quota < r.Pages() {
+				if r.ProfiledIn(m.gen) && r.Quota < r.Pages() {
 					r.Quota++
 					boost--
 					spare--
@@ -430,11 +488,11 @@ func (m *MTM) enforceQuota(e *sim.Engine, regions []*region.Region, profiled map
 		}
 		for spare > 0 {
 			grew := false
-			for _, r := range regions {
+			for i, r := range regions {
 				if spare == 0 {
 					break
 				}
-				if profiled[r] && r.Quota < r.Pages() {
+				if profiled[i] && r.Quota < r.Pages() {
 					r.Quota++
 					spare--
 					grew = true
@@ -448,8 +506,8 @@ func (m *MTM) enforceQuota(e *sim.Engine, regions []*region.Region, profiled map
 	}
 	// Ablation: random distribution of the same scan budget.
 	var cand []*region.Region
-	for _, r := range regions {
-		if profiled[r] && r.Quota < r.Pages() {
+	for i, r := range regions {
+		if profiled[i] && r.Quota < r.Pages() {
 			cand = append(cand, r)
 		}
 	}
@@ -491,13 +549,25 @@ func (m *MTM) redistribute(e *sim.Engine, freed int) {
 	}
 }
 
-func containsInt(xs []int, x int) bool {
+func containsInt32(xs []int32, x int32) bool {
 	for _, v := range xs {
 		if v == x {
 			return true
 		}
 	}
 	return false
+}
+
+// growClear returns buf resized to n zeroed elements, reusing its backing
+// array when the capacity allows — the reuse idiom of the per-interval
+// profiler buffers.
+func growClear[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
 }
 
 // findRegionIndex locates the region containing page idx of v via binary

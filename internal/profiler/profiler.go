@@ -61,24 +61,18 @@ type Profiler interface {
 // RegionNode returns the memory node holding region r, defined as the node
 // of its first present page (regions migrate as a unit, so pages of a
 // region share a node except transiently). Invalid if nothing is present.
+// The present plane finds that page word-wide instead of walking PTEs.
 func RegionNode(r *region.Region) tier.NodeID {
-	for i := r.Start; i < r.End; i++ {
-		if r.V.Present(i) {
-			return r.V.Node(i)
-		}
+	if i := r.V.FirstPresent(r.Start, r.End); i >= 0 {
+		return r.V.Node(i)
 	}
 	return tier.Invalid
 }
 
-// RegionPresentBytes returns the bytes of r that have physical frames.
+// RegionPresentBytes returns the bytes of r that have physical frames,
+// popcounted from the present plane.
 func RegionPresentBytes(r *region.Region) int64 {
-	var b int64
-	for i := r.Start; i < r.End; i++ {
-		if r.V.Present(i) {
-			b += r.V.PageSize
-		}
-	}
-	return b
+	return int64(r.V.PresentCount(r.Start, r.End)) * r.V.PageSize
 }
 
 // HotBytes selects regions from hottest WHI down until covering want
@@ -120,40 +114,53 @@ func initRegions(e *sim.Engine, set *region.Set, regionBytes int64) {
 }
 
 // samplePages picks n distinct page indices in [start, end) uniformly at
-// random (with a fallback to stride sampling when n approaches the range
-// size). The caller supplies the RNG: sharded scan phases pass their
-// per-shard stream (Engine.ShardRand) so page selection stays
-// deterministic at any Parallelism.
+// random; see samplePagesInto. Allocating convenience wrapper for tests.
 func samplePages(rng *rand.Rand, start, end, n int) []int {
+	return samplePagesInto(nil, nil, rng, start, end, n)
+}
+
+// samplePagesInto picks n distinct page indices in [start, end) uniformly
+// at random (with a fallback to stride sampling when n approaches the
+// range size), appending to dst. The caller supplies the RNG — sharded
+// scan phases pass their per-shard stream so page selection stays
+// deterministic at any Parallelism — and the shard scratch, whose seen
+// bitset replaces the per-call membership map the rejection loop used to
+// allocate. A nil scratch allocates a transient bitset. The draw sequence
+// is identical to the historical map-based implementation.
+func samplePagesInto(dst []int, sc *sim.Scratch, rng *rand.Rand, start, end, n int) []int {
 	span := end - start
 	if n >= span {
-		out := make([]int, span)
-		for i := range out {
-			out[i] = start + i
+		for i := 0; i < span; i++ {
+			dst = append(dst, start+i)
 		}
-		return out
+		return dst
 	}
 	if n <= 0 {
-		return nil
+		return dst
 	}
-	out := make([]int, 0, n)
 	if n*4 >= span {
 		// Dense: stride with a random phase avoids rejection loops.
 		stride := span / n
 		phase := rng.Intn(stride)
 		for i := 0; i < n; i++ {
-			out = append(out, start+phase+i*stride)
+			dst = append(dst, start+phase+i*stride)
 		}
-		return out
+		return dst
 	}
-	seen := make(map[int]struct{}, n)
-	for len(out) < n {
-		p := start + rng.Intn(span)
-		if _, ok := seen[p]; ok {
+	var seen []uint64
+	if sc != nil {
+		seen = sc.Seen(span)
+	} else {
+		seen = make([]uint64, (span+63)/64)
+	}
+	for got := 0; got < n; {
+		p := rng.Intn(span)
+		if seen[p>>6]&(1<<uint(p&63)) != 0 {
 			continue
 		}
-		seen[p] = struct{}{}
-		out = append(out, p)
+		seen[p>>6] |= 1 << uint(p&63)
+		dst = append(dst, start+p)
+		got++
 	}
-	return out
+	return dst
 }

@@ -1,6 +1,8 @@
 package profiler
 
 import (
+	"math"
+	"math/bits"
 	"time"
 
 	"mtm/internal/region"
@@ -28,9 +30,10 @@ const scanWindow = 0.05
 type RandomChunk struct {
 	Alpha float64
 
-	set   *region.Set
-	scans int64
-	pm    profMetrics
+	set      *region.Set
+	scans    int64
+	pm       profMetrics
+	shardBuf []int64 // reusable per-shard tally buffer (harvestRegions)
 }
 
 // NewRandomChunk creates the AutoTiering-style profiler.
@@ -61,30 +64,47 @@ func (p *RandomChunk) Regions() []*region.Region {
 // shard's RNG stream) is independent of the Parallelism setting.
 const chunkShardRegions = 8
 
-// harvestRegions walks the selected regions' pages with ObserveScans,
-// sharded on the engine's pool: each shard owns a fixed run of the
-// selection, draws from its own ShardRand stream, writes only its own
-// regions' hotness fields, and tallies scans into a private slot. The
-// merged scan count is returned for the (serialised) profiling charge,
-// alongside the per-shard tallies so callers can emit per-shard scan
-// spans in shard order. Every region must appear at most once in sel —
-// two shards writing one region would race.
-func harvestRegions(e *sim.Engine, sel []*region.Region, round, scansPerPage int, windowFrac, alpha float64, numScans int) (int64, []int64) {
+// harvestRegions walks the selected regions' pages, sharded on the
+// engine's pool: each shard owns a fixed run of the selection, draws from
+// its own per-shard stream, writes only its own regions' hotness fields,
+// and tallies scans into a private slot of buf (grown as needed and
+// returned for reuse). The merged scan count is returned for the
+// (serialised) profiling charge, alongside the per-shard tallies so
+// callers can emit per-shard scan spans in shard order. Every region must
+// appear at most once in sel — two shards writing one region would race.
+//
+// The page walk is a word-wide sweep over the present∧touched planes:
+// only pages that can observe anything draw from the RNG — identical
+// draws to the old per-page loop, since untouched pages short-circuited
+// before drawing there too — while the scan *cost* still covers every
+// page of the region, because the modelled PTE walk reads them all.
+func harvestRegions(e *sim.Engine, sel []*region.Region, buf []int64, round, scansPerPage int, windowFrac, alpha float64, numScans int) (int64, []int64) {
 	nShards := sim.NumShards(len(sel), chunkShardRegions)
-	shardScans := make([]int64, nShards)
+	if cap(buf) < nShards {
+		buf = make([]int64, nShards)
+	}
+	shardScans := buf[:nShards]
+	logw := math.Log1p(-windowFrac)
 	e.Parallel(nShards, func(s int) {
 		// Later selection rounds within one interval re-walk the same
 		// regions; giving each round a disjoint block of shard indices
 		// keeps their observation draws on distinct streams.
-		rng := e.ShardRand(sim.SaltChunkScan, round<<20|s)
+		sc := e.ShardScratch(s)
+		rng := sc.Rand(e, sim.SaltChunkScan, round<<20|s)
 		lo, hi := sim.ShardSpan(len(sel), chunkShardRegions, s)
 		var scans int64
 		for _, r := range sel[lo:hi] {
-			sum, ns := 0, 0
-			for pg := r.Start; pg < r.End; pg++ {
-				sum += vm.ObserveScans(r.V, pg, scansPerPage, windowFrac, rng)
-				ns++
+			v := r.V
+			sum := 0
+			for w := r.Start / vm.WordPages; w*vm.WordPages < r.End; w++ {
+				word := v.ActiveRangeWord(w, r.Start, r.End)
+				for word != 0 {
+					pg := w*vm.WordPages + bits.TrailingZeros64(word)
+					word &= word - 1
+					sum += vm.ObserveScansL(v, pg, scansPerPage, windowFrac, logw, rng)
+				}
 			}
+			ns := r.Pages()
 			scans += int64(ns)
 			r.PrevHI = r.HI
 			if ns > 0 {
@@ -126,7 +146,8 @@ func (p *RandomChunk) Profile(e *sim.Engine) {
 			span.I("regions", int64(len(regions))),
 			span.I("chunk_regions", int64(end-start)))
 	}
-	scans, shardScans := harvestRegions(e, regions[start:end], 0, 1, 1.0, p.Alpha, p.set.NumScans)
+	scans, shardScans := harvestRegions(e, regions[start:end], p.shardBuf, 0, 1, 1.0, p.Alpha, p.set.NumScans)
+	p.shardBuf = shardScans
 	if spanning {
 		cur := e.SpanClockNs()
 		for s, sc := range shardScans {
@@ -160,10 +181,11 @@ type SequentialScan struct {
 	Patched bool
 	Alpha   float64
 
-	set    *region.Set
-	cursor int
-	faults int64
-	pm     profMetrics
+	set      *region.Set
+	cursor   int
+	faults   int64
+	pm       profMetrics
+	shardBuf []int64 // reusable per-shard tally buffer (harvestRegions)
 }
 
 // NewSequentialScan creates the tiered-AutoNUMA-style profiler.
@@ -240,7 +262,8 @@ func (p *SequentialScan) Profile(e *sim.Engine) {
 		}
 		sel = sel[:take]
 		p.cursor += take
-		f, shardFaults := harvestRegions(e, sel, round, scansPerPage, scanWindow, p.Alpha, p.set.NumScans)
+		f, shardFaults := harvestRegions(e, sel, p.shardBuf, round, scansPerPage, scanWindow, p.Alpha, p.set.NumScans)
+		p.shardBuf = shardFaults
 		faults += f
 		if spanning {
 			for s, sc := range shardFaults {

@@ -1,15 +1,27 @@
 package region
 
+import "sync/atomic"
+
+// histGen hands every histogram a distinct generation for its membership
+// stamps (see Histogram). Atomic because independent engines may build
+// histograms concurrently in tests; within one engine histogram work is
+// serialised.
+var histGen atomic.Uint32
+
 // Histogram buckets regions by their WHI (EMA of hotness indication) so
 // the migration policy can take regions from the hottest buckets first
 // (§6.1). Bucket boundaries are fixed over [0, numScans] — the full range
 // a WHI can occupy — so Update rebuckets one region in O(1) in the region
 // count (the only non-constant work is the removal scan inside the
-// region's old bucket).
+// region's old bucket). Membership is tracked by stamping the histogram's
+// generation and bucket index onto the region itself instead of a
+// region→bucket map: batch construction and rebucketing touch no hash
+// machinery, and stamps written by an earlier histogram are simply stale
+// under the new generation.
 type Histogram struct {
 	buckets [][]*Region
 	width   float64
-	index   map[*Region]int // region -> bucket currently holding it
+	gen     uint32
 }
 
 // NewHistogram builds a histogram of the given regions with nbuckets
@@ -24,12 +36,12 @@ func NewHistogram(regions []*Region, nbuckets int, maxWHI float64) *Histogram {
 	h := &Histogram{
 		buckets: make([][]*Region, nbuckets),
 		width:   maxWHI / float64(nbuckets),
-		index:   make(map[*Region]int, len(regions)),
+		gen:     histGen.Add(1),
 	}
 	for _, r := range regions {
 		i := h.bucketOf(r.WHI)
 		h.buckets[i] = append(h.buckets[i], r)
-		h.index[r] = i
+		r.hgen, r.hbucket = h.gen, int32(i)
 	}
 	return h
 }
@@ -40,11 +52,11 @@ func NewHistogram(regions []*Region, nbuckets int, maxWHI float64) *Histogram {
 // insertion order, so HottestFirst/ColdestFirst stay deterministic.
 func (h *Histogram) Update(r *Region) {
 	ni := h.bucketOf(r.WHI)
-	oi, seen := h.index[r]
-	if seen && oi == ni {
-		return
-	}
-	if seen {
+	if r.hgen == h.gen {
+		oi := int(r.hbucket)
+		if oi == ni {
+			return
+		}
 		b := h.buckets[oi]
 		for j, kept := range b {
 			if kept == r {
@@ -54,7 +66,7 @@ func (h *Histogram) Update(r *Region) {
 		}
 	}
 	h.buckets[ni] = append(h.buckets[ni], r)
-	h.index[r] = ni
+	r.hgen, r.hbucket = h.gen, int32(ni)
 }
 
 func (h *Histogram) bucketOf(whi float64) int {

@@ -8,8 +8,9 @@
 package region
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"mtm/internal/vm"
 )
@@ -40,6 +41,30 @@ type Region struct {
 	// Sampled reports whether the region was profiled last interval; an
 	// unprofiled region keeps its previous WHI.
 	Sampled bool
+
+	// Generation-stamped scratch. Stamps let per-interval bookkeeping live
+	// on the region itself instead of in per-interval maps: a reader
+	// presents its current generation, and a stale stamp (from a previous
+	// interval or a previous histogram) simply reads as "not set". This is
+	// what makes histogram rebucketing and the profiler's selection set
+	// allocation-free.
+	profGen uint32 // generation of profSel (see SetProfiled)
+	profSel bool   // selected for PTE scans in generation profGen
+	hgen    uint32 // generation of hbucket (see Histogram)
+	hbucket int32  // histogram bucket holding the region in generation hgen
+}
+
+// SetProfiled records whether the profiler selected the region for PTE
+// scans in profiling generation gen.
+func (r *Region) SetProfiled(gen uint32, on bool) {
+	r.profGen, r.profSel = gen, on
+}
+
+// ProfiledIn reports whether the region was selected in generation gen;
+// regions stamped by an older generation (e.g. pointers surviving a
+// merge/split rebuild) read as not selected.
+func (r *Region) ProfiledIn(gen uint32) bool {
+	return r.profGen == gen && r.profSel
 }
 
 // Pages returns the region length in pages.
@@ -105,6 +130,14 @@ type Set struct {
 
 	regions []*Region // address-ordered
 	nextID  uint64
+
+	// Retired backing arrays of previous merge/split rebuilds, reused as
+	// the out-buffers of the next passes so steady-state formation does
+	// not reallocate the region table every interval. Three arrays rotate
+	// through regions/mergeSpare/splitSpare; the array being appended to
+	// is never the one being read.
+	mergeSpare []*Region
+	splitSpare []*Region
 
 	// Formation statistics (Table 7).
 	Merged             int64
@@ -202,7 +235,7 @@ func (s *Set) MergePass(tauM float64) (freedQuota int) {
 	if len(s.regions) < 2 {
 		return 0
 	}
-	out := make([]*Region, 0, len(s.regions))
+	out := s.mergeSpare[:0]
 	cur := s.regions[0]
 	for _, next := range s.regions[1:] {
 		if cur.V == next.V && cur.End == next.Start && cur.Sampled && next.Sampled &&
@@ -235,6 +268,7 @@ func (s *Set) MergePass(tauM float64) (freedQuota int) {
 		cur = next
 	}
 	out = append(out, cur)
+	s.mergeSpare = s.regions[:0]
 	s.regions = out
 	return freedQuota
 }
@@ -250,11 +284,13 @@ const maxSplitDepth = 6
 // carved out of a large mixed region within one profiling interval — the
 // responsiveness §3 finds missing in DAMON's one-random-split-per-pass.
 func (s *Set) SplitPass(tauS float64) {
-	var out []*Region
+	out := s.splitSpare[:0]
 	for _, r := range s.regions {
 		s.splitRec(r, tauS, 0, &out)
 	}
-	s.Replace(out)
+	s.splitSpare = s.regions[:0]
+	s.regions = out
+	s.sortByAddr()
 }
 
 func (s *Set) splitRec(r *Region, tauS float64, depth int, out *[]*Region) {
@@ -325,12 +361,14 @@ func (s *Set) splitPoint(r *Region) int {
 }
 
 func (s *Set) sortByAddr() {
-	sort.Slice(s.regions, func(i, j int) bool {
-		a, b := s.regions[i], s.regions[j]
+	// (V.Base, Start) pairs are strictly unique across a valid set, so the
+	// unstable pattern-defeating quicksort is safe and allocation-free
+	// (sort.Slice boxes its closure and reflects; slices.SortFunc does not).
+	slices.SortFunc(s.regions, func(a, b *Region) int {
 		if a.V.Base != b.V.Base {
-			return a.V.Base < b.V.Base
+			return cmp.Compare(a.V.Base, b.V.Base)
 		}
-		return a.Start < b.Start
+		return cmp.Compare(a.Start, b.Start)
 	})
 }
 

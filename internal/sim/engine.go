@@ -85,6 +85,7 @@ type Engine struct {
 	Par *Pool
 
 	inParallel atomic.Bool // set during Engine.Parallel (see assertOwned)
+	scratch    []*Scratch  // per-shard reusable state (see scratch.go)
 
 	Threads    int
 	HomeSocket int // socket the application's threads run on
@@ -111,11 +112,11 @@ type Engine struct {
 
 	sol    Solution
 	faults FaultPlane
-	failed error           // sticky first failure (e.g. *OOMError)
-	met    *engineMetrics  // nil unless EnableMetrics was called
-	sp     *span.Tracer    // nil unless EnableSpans was called
-	hlt    *healthState    // nil unless EnableHealth was called
-	adm    *admissionState // nil unless EnableAdmission was called
+	failed error               // sticky first failure (e.g. *OOMError)
+	met    *engineMetrics      // nil unless EnableMetrics was called
+	sp     *span.Tracer        // nil unless EnableSpans was called
+	hlt    *healthState        // nil unless EnableHealth was called
+	adm    *admissionState     // nil unless EnableAdmission was called
 	evSeen map[string]struct{} // per-interval event dedup (emitEventOnce)
 
 	// Open page-move transaction (MoveBegin → MoveCommit/MoveAborted).

@@ -13,6 +13,7 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 	"time"
 
 	"mtm/internal/health"
@@ -180,10 +181,15 @@ func (e *Engine) healthBeginInterval() {
 func (e *Engine) poisonNode(n tier.NodeID, k int) {
 	poisoned := 0
 	for _, v := range e.AS.VMAs() {
-		for i := 0; i < v.NPages && poisoned < k; i++ {
-			if v.Present(i) && v.Node(i) == n {
-				e.poisonPage(v, i)
-				poisoned++
+		for w := 0; w < v.Words() && poisoned < k; w++ {
+			word := v.PresentWord(w)
+			for word != 0 && poisoned < k {
+				i := w*vm.WordPages + bits.TrailingZeros64(word)
+				word &= word - 1
+				if v.Node(i) == n {
+					e.poisonPage(v, i)
+					poisoned++
+				}
 			}
 		}
 		if poisoned >= k {
@@ -341,9 +347,16 @@ func (e *Engine) drainNode(node tier.NodeID) {
 	e.Parallel(len(spans), func(s int) {
 		sp := spans[s]
 		var out []resident
-		for i := sp.lo; i < sp.hi; i++ {
-			if sp.v.Present(i) && sp.v.Node(i) == node {
-				out = append(out, resident{sp.v, i})
+		// Word-wide over the present plane, set bits in ascending order:
+		// the merged resident order matches the sequential walk exactly.
+		for w := sp.lo / vm.WordPages; w*vm.WordPages < sp.hi; w++ {
+			word := sp.v.PresentRangeWord(w, sp.lo, sp.hi)
+			for word != 0 {
+				i := w*vm.WordPages + bits.TrailingZeros64(word)
+				word &= word - 1
+				if sp.v.Node(i) == node {
+					out = append(out, resident{sp.v, i})
+				}
 			}
 		}
 		parts[s] = out

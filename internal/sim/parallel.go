@@ -132,6 +132,9 @@ func (e *Engine) Parallel(n int, fn func(shard int)) {
 	if e.Par == nil {
 		e.Par = NewPool(1)
 	}
+	// Slot creation happens here, on the serialised path, so shard
+	// functions only ever index into a stable slice (see ShardScratch).
+	e.growScratch(n)
 	e.inParallel.Store(true)
 	defer e.inParallel.Store(false)
 	e.Par.Run(n, fn)
@@ -164,14 +167,21 @@ const (
 	SaltChunkScan = 0x63686e6b // "chnk": chunk-scan baseline profilers
 )
 
-// ShardRand returns the deterministic RNG stream of one shard of a
-// parallel phase. The stream is a pure function of the engine seed, the
-// interval index, the phase salt and the shard index — independent of the
-// Parallelism setting and of which worker executes the shard, which is
-// what keeps parallel runs bit-identical to sequential ones.
-func (e *Engine) ShardRand(salt uint64, shard int) *rand.Rand {
+// shardSeed derives the RNG seed of one shard of a parallel phase: a pure
+// function of the engine seed, the interval index, the phase salt and the
+// shard key — independent of the Parallelism setting and of which worker
+// executes the shard.
+func (e *Engine) shardSeed(salt uint64, shard int) uint64 {
 	h := splitmix64(uint64(e.Seed) ^ salt)
 	h = splitmix64(h ^ uint64(uint32(e.Intervals)))
-	h = splitmix64(h ^ uint64(uint32(shard)))
-	return rand.New(rand.NewSource(int64(h)))
+	return splitmix64(h ^ uint64(uint32(shard)))
+}
+
+// ShardRand returns the deterministic RNG stream of one shard of a
+// parallel phase (see shardSeed for the derivation), which is what keeps
+// parallel runs bit-identical to sequential ones. The stream runs over an
+// O(1)-seeded SplitMix64 source; hot shard loops should prefer
+// Scratch.Rand, which reuses a slot-held RNG instead of allocating.
+func (e *Engine) ShardRand(salt uint64, shard int) *rand.Rand {
+	return rand.New(&sm64{state: e.shardSeed(salt, shard)})
 }

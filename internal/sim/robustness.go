@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"sort"
 	"time"
 
@@ -367,9 +368,16 @@ func (e *Engine) demoteColdest(node tier.NodeID, lower []tier.NodeID, need int64
 	e.Parallel(len(spans), func(s int) {
 		sp := spans[s]
 		var out []cold
-		for i := sp.lo; i < sp.hi; i++ {
-			if sp.v.Present(i) && sp.v.Node(i) == node {
-				out = append(out, cold{sp.v, i, sp.v.Count(i)})
+		// Word-wide over the present plane; set bits are consumed in
+		// ascending order so the merged candidate order is unchanged.
+		for w := sp.lo / vm.WordPages; w*vm.WordPages < sp.hi; w++ {
+			word := sp.v.PresentRangeWord(w, sp.lo, sp.hi)
+			for word != 0 {
+				i := w*vm.WordPages + bits.TrailingZeros64(word)
+				word &= word - 1
+				if sp.v.Node(i) == node {
+					out = append(out, cold{sp.v, i, sp.v.Count(i)})
+				}
 			}
 		}
 		parts[s] = out

@@ -1,0 +1,94 @@
+// Per-shard scratch for the parallel hot path. The old sharded phases
+// paid two taxes every interval: rand.NewSource seeds math/rand's
+// 607-word additive-feedback register per shard (over half the profile of
+// a profiling interval), and each shard allocated fresh sample buffers
+// and membership maps. Scratch removes both: every shard slot owns a
+// reusable *rand.Rand over an O(1)-seeded SplitMix64 source plus
+// reusable page/bit buffers, so the steady-state interval hot path
+// performs zero allocations after warm-up.
+//
+// The determinism contract of parallel.go is unchanged: shard s always
+// uses scratch slot s regardless of which worker runs it, the RNG stream
+// is still a pure function of (engine seed, interval, salt, shard key),
+// and scratch contents never carry information between uses — every
+// buffer is fully rewritten before it is read.
+package sim
+
+import "math/rand"
+
+// sm64 is a SplitMix64 rand.Source64. Seeding writes one word (vs the
+// 607-word init of rand.NewSource), which is what makes per-(interval,
+// shard) streams affordable: the seed itself carries all the mixing.
+type sm64 struct{ state uint64 }
+
+func (s *sm64) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *sm64) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+func (s *sm64) Seed(seed int64) { s.state = uint64(seed) }
+
+// Scratch is the reusable state of one shard slot. Fields are owned by
+// the shard holding the slot for the duration of one Parallel call; the
+// serialised caller may read them between calls (e.g. merge tallies in
+// shard order).
+type Scratch struct {
+	src sm64
+	rng *rand.Rand
+
+	// Pages is a reusable page-index buffer (sample selection).
+	Pages []int
+	// ScanCount/PageCount are per-shard tallies a phase may accumulate
+	// into; the caller merges them in shard order after Parallel returns.
+	ScanCount int64
+	PageCount int64
+
+	seen    []uint64 // rejection-sampling membership bitset
+	seenCap int      // bits the current seen slice covers
+}
+
+// Rand reseeds the slot's RNG for (salt, key) in the current interval and
+// returns it. The stream equals ShardRand(salt, key)'s: a pure function
+// of the simulation state, independent of Parallelism and of worker
+// scheduling. The returned RNG is valid until the next Rand call on the
+// same slot.
+func (sc *Scratch) Rand(e *Engine, salt uint64, key int) *rand.Rand {
+	sc.src.state = e.shardSeed(salt, key)
+	if sc.rng == nil {
+		sc.rng = rand.New(&sc.src)
+	}
+	return sc.rng
+}
+
+// Seen returns a zeroed membership bitset covering at least n bits,
+// reusing the slot's buffer. The caller owns it until the next Seen call
+// on the same slot.
+func (sc *Scratch) Seen(n int) []uint64 {
+	words := (n + 63) / 64
+	if words > len(sc.seen) {
+		sc.seen = make([]uint64, words)
+	} else {
+		clear(sc.seen[:words])
+	}
+	sc.seenCap = n
+	return sc.seen[:words]
+}
+
+// ShardScratch returns the scratch slot of shard s. Slots are created by
+// Parallel on the serialised path before workers start, so shard
+// functions only ever index a stable slice; callers may also read slots
+// after Parallel returns to merge per-shard tallies in shard order.
+func (e *Engine) ShardScratch(s int) *Scratch { return e.scratch[s] }
+
+// growScratch ensures at least n scratch slots exist. Serialised-path
+// only (Parallel calls it before starting workers).
+func (e *Engine) growScratch(n int) {
+	for len(e.scratch) < n {
+		e.scratch = append(e.scratch, &Scratch{})
+	}
+}

@@ -7,6 +7,7 @@ package stats
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 	"time"
@@ -34,13 +35,15 @@ func CountOracle(as *vm.AddressSpace, hotFrac float64) HotOracle {
 	var pages []pg
 	var total int64
 	for _, v := range as.VMAs() {
-		for i := 0; i < v.NPages; i++ {
-			if !v.Present(i) {
-				continue
-			}
-			total += v.PageSize
-			if c := v.Count(i); c > 0 {
-				pages = append(pages, pg{v, i, c})
+		total += int64(v.PresentCount(0, v.NPages)) * v.PageSize
+		// Pages with non-zero counts are exactly the present∧touched ones;
+		// sweep them word-wide instead of loading every counter.
+		for w := 0; w < v.Words(); w++ {
+			word := v.ActiveWord(w)
+			for word != 0 {
+				i := w*vm.WordPages + bits.TrailingZeros64(word)
+				word &= word - 1
+				pages = append(pages, pg{v, i, v.Count(i)})
 			}
 		}
 	}
@@ -78,13 +81,15 @@ func DetectionQuality(regions []*region.Region, oracle HotOracle, wantBytes, ora
 	detected := profiler.HotBytes(regions, wantBytes)
 	var detectedBytes, correct int64
 	for _, r := range detected {
-		for i := r.Start; i < r.End; i++ {
-			if !r.V.Present(i) {
-				continue
-			}
-			detectedBytes += r.V.PageSize
-			if oracle(r.V, i) {
-				correct += r.V.PageSize
+		detectedBytes += int64(r.V.PresentCount(r.Start, r.End)) * r.V.PageSize
+		for w := r.Start / vm.WordPages; w*vm.WordPages < r.End; w++ {
+			word := r.V.PresentRangeWord(w, r.Start, r.End)
+			for word != 0 {
+				i := w*vm.WordPages + bits.TrailingZeros64(word)
+				word &= word - 1
+				if oracle(r.V, i) {
+					correct += r.V.PageSize
+				}
 			}
 		}
 	}
@@ -102,9 +107,14 @@ func DetectionQuality(regions []*region.Region, oracle HotOracle, wantBytes, ora
 func OracleBytes(as *vm.AddressSpace, oracle HotOracle) int64 {
 	var b int64
 	for _, v := range as.VMAs() {
-		for i := 0; i < v.NPages; i++ {
-			if v.Present(i) && oracle(v, i) {
-				b += v.PageSize
+		for w := 0; w < v.Words(); w++ {
+			word := v.PresentWord(w)
+			for word != 0 {
+				i := w*vm.WordPages + bits.TrailingZeros64(word)
+				word &= word - 1
+				if oracle(v, i) {
+					b += v.PageSize
+				}
 			}
 		}
 	}

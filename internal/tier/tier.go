@@ -18,6 +18,7 @@ package tier
 
 import (
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -77,6 +78,13 @@ type Topology struct {
 	// Links[socket][node] is the performance of accesses issued on a
 	// socket to a node.
 	Links [][]Link
+
+	// views caches the per-socket fastest-to-slowest node orders. The
+	// topology is static after construction, and View sits on the
+	// per-fault placement path — rebuilding the order there was the
+	// single largest allocation source of a simulated interval.
+	viewsOnce sync.Once
+	views     [][]NodeID
 }
 
 // Validate checks internal consistency of the topology.
@@ -115,8 +123,20 @@ func (t *Topology) Validate() error {
 }
 
 // View returns the node IDs ordered fastest-to-slowest from the given
-// socket. Ties break by bandwidth (higher first), then node ID.
+// socket. Ties break by bandwidth (higher first), then node ID. The
+// returned slice is a shared cache owned by the topology — callers must
+// not modify it.
 func (t *Topology) View(socket int) []NodeID {
+	t.viewsOnce.Do(func() {
+		t.views = make([][]NodeID, t.Sockets)
+		for s := range t.views {
+			t.views[s] = t.buildView(s)
+		}
+	})
+	return t.views[socket]
+}
+
+func (t *Topology) buildView(socket int) []NodeID {
 	order := make([]NodeID, len(t.Nodes))
 	for i := range order {
 		order[i] = NodeID(i)

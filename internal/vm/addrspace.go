@@ -72,15 +72,12 @@ func (as *AddressSpace) TotalBytes() int64 {
 	return t
 }
 
-// PresentBytes returns the bytes with physical frames.
+// PresentBytes returns the bytes with physical frames, counted word-wide
+// over the present plane.
 func (as *AddressSpace) PresentBytes() int64 {
 	var t int64
 	for _, v := range as.vmas {
-		for i := 0; i < v.NPages; i++ {
-			if v.Present(i) {
-				t += v.PageSize
-			}
-		}
+		t += int64(v.PresentCount(0, v.NPages)) * v.PageSize
 	}
 	return t
 }
@@ -108,11 +105,19 @@ func (as *AddressSpace) ResetCounts() {
 // is in [0, numScans]; this is the only channel through which PTE-scan
 // profilers learn about access frequency.
 func ObserveScans(v *VMA, idx, numScans int, windowFrac float64, rng *rand.Rand) int {
-	if numScans <= 0 || !v.Present(idx) {
-		return 0
-	}
-	k := v.Count(idx)
-	if k == 0 {
+	return ObserveScansL(v, idx, numScans, windowFrac, math.Log1p(-windowFrac), rng)
+}
+
+// ObserveScansL is ObserveScans with log1p(-windowFrac) precomputed by the
+// caller: windowFrac is a per-profiler constant, so hot scan loops hoist
+// the logarithm out of the per-page path. logw must equal
+// math.Log1p(-windowFrac); draws and results are identical to
+// ObserveScans.
+func ObserveScansL(v *VMA, idx, numScans int, windowFrac, logw float64, rng *rand.Rand) int {
+	// The touched plane is the k>0 pre-check word-wide sweeps rely on:
+	// untouched or non-present pages observe nothing and draw nothing, so
+	// skipping them whole words at a time leaves every RNG stream intact.
+	if numScans <= 0 || !v.touched.Test(idx) || !v.present.Test(idx) {
 		return 0
 	}
 	if windowFrac >= 1 {
@@ -121,8 +126,9 @@ func ObserveScans(v *VMA, idx, numScans int, windowFrac float64, rng *rand.Rand)
 	if windowFrac <= 0 {
 		return 0
 	}
+	k := v.Count(idx)
 	// p = 1-(1-w)^k via exp for large k.
-	p := 1 - math.Exp(float64(k)*math.Log1p(-windowFrac))
+	p := 1 - math.Exp(float64(k)*logw)
 	hits := 0
 	for i := 0; i < numScans; i++ {
 		if rng.Float64() < p {

@@ -18,23 +18,38 @@ const NoNode = tier.Invalid
 
 // VMA is one virtual memory area: a contiguous range of same-sized pages.
 // With THP enabled (the paper's default) a VMA uses 2 MB huge pages; page
-// indices then count 2 MB units. All per-page state is stored in parallel
-// slices indexed by page number within the VMA.
+// indices then count 2 MB units.
+//
+// Per-page state is struct-of-arrays: the hot, scanned-every-interval PTE
+// bits (present, accessed, dirty) live in flat Bitmap planes — 64 pages
+// per word — while the cold flag bits (huge, write-protect, poisoned,
+// reserved) stay in a parallel flag-byte array. PTE(idx) reconstructs the
+// combined entry; profilers sweep the planes word-wide instead.
 type VMA struct {
 	Name     string
 	Base     uint64 // starting virtual address, HugePageSize-aligned
 	PageSize int64  // BasePageSize or HugePageSize
 	NPages   int
 
-	ptes []PTE
-	node []tier.NodeID // physical placement; NoNode if not present
+	flags []PTE         // cold bits only: Huge, WriteProtect, Reserved11, Poisoned
+	node  []tier.NodeID // physical placement; NoNode if not present
+
+	// Hot PTE bit planes, maintained as invariants of every mutation:
+	// present mirrors the Present bit, accessed/dirty mirror the MMU bits.
+	present  Bitmap
+	accessed Bitmap
+	dirty    Bitmap
 
 	// Ground truth access counts for the current profiling interval.
 	// These are *not* visible to profilers (they only scan PTEs); the
 	// simulator uses them to model what repeated scans would observe and
-	// to compute recall/accuracy metrics against an oracle.
-	counts []uint32
-	writes []uint32
+	// to compute recall/accuracy metrics against an oracle. touched is
+	// the counts-plane summary (counts[i] > 0), letting oracle-backed
+	// sweeps (ObserveScans, stats) skip untouched pages word-wide without
+	// loading counters.
+	counts  []uint32
+	writes  []uint32
+	touched Bitmap
 	// lastSocket is the socket that issued the most recent access to the
 	// page, backing the hint-fault "who touched it" channel (§6.2).
 	lastSocket []int8
@@ -46,18 +61,22 @@ func newVMA(name string, base uint64, pageSize int64, nPages int) *VMA {
 		Base:       base,
 		PageSize:   pageSize,
 		NPages:     nPages,
-		ptes:       make([]PTE, nPages),
+		flags:      make([]PTE, nPages),
 		node:       make([]tier.NodeID, nPages),
+		present:    NewBitmap(nPages),
+		accessed:   NewBitmap(nPages),
+		dirty:      NewBitmap(nPages),
 		counts:     make([]uint32, nPages),
 		writes:     make([]uint32, nPages),
+		touched:    NewBitmap(nPages),
 		lastSocket: make([]int8, nPages),
 	}
 	for i := range v.node {
 		v.node[i] = NoNode
 	}
 	if pageSize == HugePageSize {
-		for i := range v.ptes {
-			v.ptes[i] = Huge
+		for i := range v.flags {
+			v.flags[i] = Huge
 		}
 	}
 	return v
@@ -75,27 +94,90 @@ func (v *VMA) Addr(idx int) uint64 { return v.Base + uint64(int64(idx)*v.PageSiz
 // PageOf returns the page index containing addr, which must lie in the VMA.
 func (v *VMA) PageOf(addr uint64) int { return int((addr - v.Base) / uint64(v.PageSize)) }
 
-// PTE returns the page-table entry of page idx.
-func (v *VMA) PTE(idx int) PTE { return v.ptes[idx] }
+// PTE reconstructs the page-table entry of page idx from the flag byte and
+// the bit planes.
+func (v *VMA) PTE(idx int) PTE {
+	p := v.flags[idx]
+	if v.present.Test(idx) {
+		p |= Present
+	}
+	if v.accessed.Test(idx) {
+		p |= Accessed
+	}
+	if v.dirty.Test(idx) {
+		p |= Dirty
+	}
+	return p
+}
 
 // Node returns the memory node holding page idx, or NoNode.
 func (v *VMA) Node(idx int) tier.NodeID { return v.node[idx] }
 
 // Present reports whether page idx has a physical frame.
-func (v *VMA) Present(idx int) bool { return v.ptes[idx].Has(Present) }
+func (v *VMA) Present(idx int) bool { return v.present.Test(idx) }
+
+// Words returns the number of 64-page bitmap words covering the VMA.
+func (v *VMA) Words() int { return v.present.Words() }
+
+// PresentWord returns word w of the present plane.
+func (v *VMA) PresentWord(w int) uint64 { return v.present.Word(w) }
+
+// AccessedWord returns word w of the accessed plane.
+func (v *VMA) AccessedWord(w int) uint64 { return v.accessed.Word(w) }
+
+// DirtyWord returns word w of the dirty plane.
+func (v *VMA) DirtyWord(w int) uint64 { return v.dirty.Word(w) }
+
+// TouchedWord returns word w of the ground-truth touched plane. Oracle
+// code only; profilers must observe through PTE scans.
+func (v *VMA) TouchedWord(w int) uint64 { return v.touched.Word(w) }
+
+// Touched reports whether page idx was accessed this interval (ground
+// truth; oracle code only).
+func (v *VMA) Touched(idx int) bool { return v.touched.Test(idx) }
+
+// ActiveWord returns the pages of word w that are both present and touched
+// this interval — the pages a scan sweep can observe anything on.
+func (v *VMA) ActiveWord(w int) uint64 { return v.present.Word(w) & v.touched.Word(w) }
+
+// ActiveRangeWord returns ActiveWord(w) restricted to pages [lo, hi).
+func (v *VMA) ActiveRangeWord(w, lo, hi int) uint64 {
+	return v.present.RangeWord(w, lo, hi) & v.touched.Word(w)
+}
+
+// FirstPresent returns the lowest present page index in [lo, hi), or -1.
+func (v *VMA) FirstPresent(lo, hi int) int {
+	i := v.present.NextSet(lo)
+	if i < 0 || i >= hi {
+		return -1
+	}
+	return i
+}
+
+// PresentCount returns the number of present pages in [lo, hi) via
+// word-wide popcounts.
+func (v *VMA) PresentCount(lo, hi int) int { return v.present.CountRange(lo, hi) }
+
+// PresentRangeWord returns the present pages of word w restricted to
+// [lo, hi); see Bitmap.RangeWord for the iteration idiom.
+func (v *VMA) PresentRangeWord(w, lo, hi int) uint64 { return v.present.RangeWord(w, lo, hi) }
+
+// TouchedRangeWord returns the touched pages of word w restricted to
+// [lo, hi). Oracle code only; profilers must observe through PTE scans.
+func (v *VMA) TouchedRangeWord(w, lo, hi int) uint64 { return v.touched.RangeWord(w, lo, hi) }
 
 // Place installs page idx on node n, marking it present. It is the
 // allocator/migrator's entry point and does not touch access bits.
 func (v *VMA) Place(idx int, n tier.NodeID) {
 	v.node[idx] = n
-	v.ptes[idx] = v.ptes[idx].Set(Present)
+	v.present.Set(idx)
 }
 
 // Unmap removes the frame of page idx (migration step 2). Access state is
 // preserved so a remap continues tracking.
 func (v *VMA) Unmap(idx int) {
 	v.node[idx] = NoNode
-	v.ptes[idx] = v.ptes[idx].Clear(Present)
+	v.present.Clear(idx)
 }
 
 // Poison marks page idx as hit by an uncorrectable memory error, the
@@ -105,18 +187,22 @@ func (v *VMA) Unmap(idx int) {
 // fault rather than returning stale data.
 func (v *VMA) Poison(idx int) {
 	v.node[idx] = NoNode
-	v.ptes[idx] = v.ptes[idx].Clear(Present | Accessed | Dirty | WriteProtect).Set(Poisoned)
+	v.present.Clear(idx)
+	v.accessed.Clear(idx)
+	v.dirty.Clear(idx)
+	v.touched.Clear(idx)
+	v.flags[idx] = v.flags[idx].Clear(WriteProtect).Set(Poisoned)
 	v.counts[idx] = 0
 	v.writes[idx] = 0
 }
 
 // IsPoisoned reports whether page idx carries a pending memory error.
-func (v *VMA) IsPoisoned(idx int) bool { return v.ptes[idx].Has(Poisoned) }
+func (v *VMA) IsPoisoned(idx int) bool { return v.flags[idx].Has(Poisoned) }
 
 // ClearPoison acknowledges the memory error on page idx (the recovery
 // fault handler ran); the page can then be placed on a fresh frame.
 func (v *VMA) ClearPoison(idx int) {
-	v.ptes[idx] = v.ptes[idx].Clear(Poisoned)
+	v.flags[idx] = v.flags[idx].Clear(Poisoned)
 }
 
 // Touch simulates one MMU access to page idx from the given socket,
@@ -125,34 +211,25 @@ func (v *VMA) ClearPoison(idx int) {
 // (not present): a faulting access records nothing and must be retried
 // after the fault handler places the page.
 func (v *VMA) Touch(idx int, write bool, socket int) (tier.NodeID, bool) {
-	if !v.ptes[idx].Has(Present) {
-		return NoNode, true
-	}
-	p := v.ptes[idx].Set(Accessed)
+	var nw uint32
 	if write {
-		p = p.Set(Dirty)
+		nw = 1
 	}
-	v.ptes[idx] = p
-	v.counts[idx]++
-	if write {
-		v.writes[idx]++
-	}
-	v.lastSocket[idx] = int8(socket)
-	return v.node[idx], false
+	return v.TouchN(idx, 1, nw, socket)
 }
 
 // TouchN simulates n accesses (nw of them writes) to page idx from the
 // given socket in one call; it is the batched fast path for workload
 // generators. Semantics match n calls to Touch.
 func (v *VMA) TouchN(idx int, n, nw uint32, socket int) (tier.NodeID, bool) {
-	if !v.ptes[idx].Has(Present) {
+	if !v.present.Test(idx) {
 		return NoNode, true
 	}
-	p := v.ptes[idx].Set(Accessed)
+	v.accessed.Set(idx)
+	v.touched.Set(idx)
 	if nw > 0 {
-		p = p.Set(Dirty)
+		v.dirty.Set(idx)
 	}
-	v.ptes[idx] = p
 	v.counts[idx] += n
 	v.writes[idx] += nw
 	v.lastSocket[idx] = int8(socket)
@@ -173,35 +250,34 @@ func (v *VMA) LastSocket(idx int) int { return int(v.lastSocket[idx]) }
 func (v *VMA) ResetCounts() {
 	clear(v.counts)
 	clear(v.writes)
+	v.touched.ClearAll()
 }
 
 // ScanAndClear performs one PTE scan of page idx: it returns whether the
 // accessed bit was set and clears it, exactly the primitive DAMON-style
 // profilers are built on. Scanning a non-present page returns false.
 func (v *VMA) ScanAndClear(idx int) bool {
-	p := v.ptes[idx]
-	if !p.Has(Present) {
+	if !v.present.Test(idx) {
 		return false
 	}
-	set := p.Has(Accessed)
-	v.ptes[idx] = p.Clear(Accessed)
+	set := v.accessed.Test(idx)
+	v.accessed.Clear(idx)
 	return set
 }
 
 // TestAndClearDirty returns whether the dirty bit was set and clears it.
 func (v *VMA) TestAndClearDirty(idx int) bool {
-	p := v.ptes[idx]
-	set := p.Has(Dirty)
-	v.ptes[idx] = p.Clear(Dirty)
+	set := v.dirty.Test(idx)
+	v.dirty.Clear(idx)
 	return set
 }
 
 // SetWriteProtect arms or disarms write-protection on page idx.
 func (v *VMA) SetWriteProtect(idx int, on bool) {
 	if on {
-		v.ptes[idx] = v.ptes[idx].Set(WriteProtect)
+		v.flags[idx] = v.flags[idx].Set(WriteProtect)
 	} else {
-		v.ptes[idx] = v.ptes[idx].Clear(WriteProtect)
+		v.flags[idx] = v.flags[idx].Clear(WriteProtect)
 	}
 }
 
