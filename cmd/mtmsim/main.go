@@ -9,6 +9,7 @@
 //	mtmsim -workload gups -solution mtm -faults ebusy-storm
 //	mtmsim -workload gups -solution mtm -faults dimm-death -health -audit
 //	mtmsim -workload pingpong -solution mtm -admission
+//	mtmsim -workload pingpong -solution nomad -budget-mb 6400 -audit
 //	mtmsim -workload gups -solution mtm -parallel 4 -json
 //	mtmsim -workload gups -solution mtm -metrics out.prom -metrics-format prom
 //	mtmsim -list
@@ -77,6 +78,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		two       = fs.Bool("two-tier", false, "use the single-socket DRAM+PM machine")
 		cxl       = fs.Bool("cxl", false, "use the DRAM + direct-CXL + switched-CXL machine")
 		faults    = fs.String("faults", "none", "fault-injection scenario")
+		budgetMB  = fs.Int64("budget-mb", 0, "per-interval migration budget in MB at full machine scale, divided by -scale like every capacity (0 = the default 800)")
 		admit     = fs.Bool("admission", false, "enable migration admission control (ROI gate, bandwidth budgets, thrash suppression)")
 		healthOn  = fs.Bool("health", false, "enable the tier-health subsystem (auto-enabled by mem-error/tier-fail scenarios)")
 		audit     = fs.Bool("audit", false, "cross-check residency/capacity/migration ledgers after the run")
@@ -147,6 +149,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.TwoTier = *two
 	cfg.CXL = *cxl
 	cfg.Faults = *faults
+	if *budgetMB > 0 {
+		cfg.MigrateBudget = *budgetMB << 20 / *scale
+	}
 	cfg.Health = *healthOn
 	cfg.Audit = *audit
 	cfg.Parallelism = *parallel

@@ -101,6 +101,11 @@ const (
 	// RuleWaste marks a move deferred because the pair's recent waste
 	// ratio (aborted share of attempted bytes) crossed WasteCutoff.
 	RuleWaste = "waste-shed"
+	// RuleShadowFlip marks a demotion admitted on its flip cost: the
+	// page's still-valid shadow frame makes the demotion a zero-copy
+	// metadata flip, so the copy-cost-denominated gates (victim ROI,
+	// token budget, waste shedding) do not apply.
+	RuleShadowFlip = "shadow-flip-admitted"
 )
 
 // Config tunes the admission layer. The zero value selects defaults
@@ -289,6 +294,20 @@ type Controller struct {
 	pairs []bucket // n*n, indexed src*n + dst
 	n     int
 	cool  map[uint64]cooldown
+	// coolQ records stamps in commit order so Prune can expire old map
+	// entries without iterating the map (map iteration order would leak
+	// into behaviour). coolHead is the consumed prefix.
+	coolQ    []coolEntry
+	coolHead int
+}
+
+// coolEntry is one queued cool-down stamp. A page re-stamped later has a
+// newer untilNs in the map than in this record; Prune only deletes the
+// map entry when the two agree, so re-stamped pages survive until their
+// newest record expires.
+type coolEntry struct {
+	key     uint64
+	untilNs int64
 }
 
 // NewController builds a controller for n nodes. Pair budgets start
@@ -461,5 +480,40 @@ func (c *Controller) NotePageMove(key uint64, dir Direction, nowNs int64) {
 	if c.cfg.CoolDown <= 0 {
 		return
 	}
-	c.cool[key] = cooldown{untilNs: nowNs + int64(c.cfg.CoolDown), dir: dir}
+	until := nowNs + int64(c.cfg.CoolDown)
+	c.cool[key] = cooldown{untilNs: until, dir: dir}
+	c.coolQ = append(c.coolQ, coolEntry{key: key, untilNs: until})
 }
+
+// Prune drops cool-down entries expired at nowNs and returns how many it
+// removed. Without it the map only sheds entries for pages that happen
+// to be looked up again (PageAllowed's lazy delete), so one-shot movers
+// accumulate for the whole run. Stamps are queued in commit order and
+// cool-downs are a fixed length, so the queue is sorted by expiry: one
+// pass over the expired prefix suffices. Behaviour-neutral by
+// construction — it removes exactly the entries PageAllowed would treat
+// as expired anyway.
+func (c *Controller) Prune(nowNs int64) int {
+	removed := 0
+	for c.coolHead < len(c.coolQ) && c.coolQ[c.coolHead].untilNs <= nowNs {
+		rec := c.coolQ[c.coolHead]
+		c.coolHead++
+		// Only delete when the map still holds this exact stamp; a
+		// re-stamped page has a newer record later in the queue.
+		if e, ok := c.cool[rec.key]; ok && e.untilNs == rec.untilNs {
+			delete(c.cool, rec.key)
+			removed++
+		}
+	}
+	if c.coolHead == len(c.coolQ) {
+		c.coolQ = c.coolQ[:0]
+		c.coolHead = 0
+	} else if c.coolHead >= 1024 && c.coolHead*2 >= len(c.coolQ) {
+		c.coolQ = append(c.coolQ[:0], c.coolQ[c.coolHead:]...)
+		c.coolHead = 0
+	}
+	return removed
+}
+
+// CoolSize reports the live cool-down map size (tests and telemetry).
+func (c *Controller) CoolSize() int { return len(c.cool) }

@@ -231,3 +231,59 @@ func TestWasteShedHalfOpenRecovery(t *testing.T) {
 		t.Fatalf("Admit with disabled cutoff = %v/%s, want admit", d.Verdict, d.Rule)
 	}
 }
+
+// TestCooldownPruneBoundsMap drives many distinct pages through
+// NotePageMove across a long virtual run, pruning once per simulated
+// interval like the engine does, and asserts the cool-down map never
+// holds more entries than moved within one cool-down window — the map
+// used to grow monotonically for the whole run.
+func TestCooldownPruneBoundsMap(t *testing.T) {
+	const cool = time.Second
+	c := NewController(Config{CoolDown: cool}, 2)
+	const interval = int64(100 * time.Millisecond)
+	const perInterval = 64
+	key := uint64(0)
+	for iv := int64(0); iv < 200; iv++ {
+		now := iv * interval
+		c.Prune(now)
+		for i := 0; i < perInterval; i++ {
+			c.NotePageMove(key, DirPromote, now)
+			key++
+		}
+		// Entries live one cool-down (10 intervals): the map may hold at
+		// most 11 intervals' worth (the current one plus the window).
+		if max := perInterval * 11; c.CoolSize() > max {
+			t.Fatalf("interval %d: cool-down map holds %d entries, want <= %d", iv, c.CoolSize(), max)
+		}
+	}
+	// After a final prune far in the future everything expires.
+	if n := c.Prune(int64(1000 * time.Second)); n == 0 {
+		t.Fatal("final prune removed nothing")
+	}
+	if c.CoolSize() != 0 {
+		t.Fatalf("map not empty after full expiry: %d", c.CoolSize())
+	}
+}
+
+// TestCooldownPruneKeepsRestampedPages: a page whose cool-down was
+// re-stamped must survive the prune of its older queue record.
+func TestCooldownPruneKeepsRestampedPages(t *testing.T) {
+	c := NewController(Config{CoolDown: time.Second}, 2)
+	const key = uint64(0xbeef)
+	c.NotePageMove(key, DirDemote, 0)
+	// Re-stamp at 0.5s: expiry moves to 1.5s.
+	c.NotePageMove(key, DirDemote, int64(500*time.Millisecond))
+	// Prune at 1.2s pops the stale first record but must keep the entry.
+	c.Prune(int64(1200 * time.Millisecond))
+	if c.PageAllowed(key, DirPromote, int64(1200*time.Millisecond)) {
+		t.Fatal("re-stamped page lost its cool-down to a stale queue record")
+	}
+	if c.CoolSize() != 1 {
+		t.Fatalf("cool size = %d, want 1", c.CoolSize())
+	}
+	// At 1.5s the re-stamp expires for real.
+	c.Prune(int64(1500 * time.Millisecond))
+	if c.CoolSize() != 0 {
+		t.Fatalf("cool size after real expiry = %d, want 0", c.CoolSize())
+	}
+}

@@ -40,6 +40,12 @@ type MTM struct {
 	// carry accumulates unused promotion budget so a budget smaller than
 	// one huge page still yields the configured average migration rate.
 	carry int64
+	// flipFirst makes makeRoom try zero-copy shadow-flip demotion before
+	// pricing a copy for each victim (non-exclusive tiering; set by Nomad).
+	flipFirst bool
+	// syncLeft is the interval's remaining targeted shadow write-back
+	// allowance (replenished by Nomad.IntervalEnd from SyncBudget).
+	syncLeft int64
 }
 
 // NewMTM assembles the paper's default MTM: adaptive profiler, adaptive
@@ -250,6 +256,29 @@ func (p *MTM) makeRoom(e *sim.Engine, hist *region.Histogram, node tier.NodeID, 
 	nodeRank := rankOf(view, node)
 	spanning := e.SpansEnabled()
 	var demoted int64
+	if p.flipFirst {
+		// Non-exclusive tiering: a full flip pass runs before any copy is
+		// priced. Among eligible victims, one backed by retained shadow
+		// frames demotes for the cost of a remap — so free demotions are
+		// taken from the whole cold set first, and the copy pass below
+		// only covers whatever need the shadow supply could not.
+		for _, r := range hist.ColdestFirst() {
+			if demoted >= need || demoted >= budget {
+				break
+			}
+			if r.WHI >= candidateWHI {
+				break
+			}
+			if nodeOf(r) != node {
+				continue
+			}
+			remaining := need - demoted
+			if b := budget - demoted; b < remaining {
+				remaining = b
+			}
+			demoted += p.flipVictim(e, r, node, remaining)
+		}
+	}
 	for _, r := range hist.ColdestFirst() {
 		if demoted >= need || demoted >= budget {
 			break

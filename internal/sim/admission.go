@@ -137,6 +137,49 @@ func (e *Engine) AdmitMigration(src, dst tier.NodeID, bytes, pageSize int64, whi
 	return dec
 }
 
+// admissionBeginInterval prunes expired page cool-downs so the map stays
+// bounded by the pages that moved within the last cool-down window,
+// instead of growing for the whole run. Behaviour-neutral: Prune removes
+// exactly the entries PageAllowed would treat as expired.
+func (e *Engine) admissionBeginInterval() {
+	if e.adm == nil {
+		return
+	}
+	e.adm.ctl.Prune(e.SpanClockNs())
+}
+
+// AdmitFlip prices one planned zero-copy shadow-flip demotion. Flips
+// bypass the copy-cost-denominated gates — the victim-ROI bound, token
+// budgets, and waste shedding all price a copy that a flip never pays,
+// so holding a flip to them rejects exactly the moves that are free —
+// but the decision still carries flip-cost ROI evidence and the rule
+// RuleShadowFlip for span provenance. The per-page thrash cool-down is
+// NOT bypassed; FlipDemote enforces it separately. flipNs is the
+// metadata cost of the flip (see migrate.FlipCost).
+func (e *Engine) AdmitFlip(src, dst tier.NodeID, bytes int64, whi, reaccess, flipNs float64) admission.Decision {
+	dec := admission.Decision{
+		Verdict:      admission.VerdictAdmit,
+		Rule:         admission.RuleShadowFlip,
+		AllowedBytes: bytes,
+	}
+	if e.adm == nil || int(src) < 0 || int(dst) < 0 || src == dst {
+		return dec
+	}
+	e.assertOwned("AdmitFlip")
+	lat := e.latCache[e.HomeSocket]
+	gap := float64(lat[src] - lat[dst])
+	if gap < 0 {
+		gap = -gap
+	}
+	dec.ROI = admission.ROI(whi, reaccess, e.adm.cfg.HorizonIntervals, gap, flipNs)
+	dec.BudgetBytes = e.adm.ctl.Tokens(int(src), int(dst), e.SpanClockNs())
+	e.AdmissionAdmits++
+	if e.met != nil {
+		e.met.admAdmitted.Inc()
+	}
+	return dec
+}
+
 // PageMoveAllowed consults the thrash detector for one page about to
 // move to dst: a page still inside the cool-down window of a committed
 // move may not reverse direction. Suppressed pages are counted but not

@@ -70,10 +70,10 @@ func (e *Engine) Audit() error {
 				"%s residency: present %d + tax %d + opaque %d = %d, used ledger says %d",
 				nodes[i].Name, resident[i], tax, opaque, want, got))
 		}
-		if e.Sys.Used(n)+e.Sys.Quarantined(n) > e.Sys.Capacity(n) {
+		if e.Sys.Used(n)+e.Sys.Quarantined(n)+e.Sys.ShadowBytes(n) > e.Sys.Capacity(n) {
 			probs = append(probs, fmt.Sprintf(
-				"%s over capacity: used %d + quarantined %d > capacity %d",
-				nodes[i].Name, e.Sys.Used(n), e.Sys.Quarantined(n), e.Sys.Capacity(n)))
+				"%s over capacity: used %d + quarantined %d + shadow %d > capacity %d",
+				nodes[i].Name, e.Sys.Used(n), e.Sys.Quarantined(n), e.Sys.ShadowBytes(n), e.Sys.Capacity(n)))
 		}
 		quarantined += e.Sys.Quarantined(n)
 		if e.TierHealth(n) == health.StateOffline && resident[i] > 0 {
@@ -85,6 +85,49 @@ func (e *Engine) Audit() error {
 		probs = append(probs, fmt.Sprintf(
 			"quarantine ledger: tiers hold %d quarantined bytes, %d bytes were poisoned",
 			quarantined, e.poisonedBytes))
+	}
+
+	// Shadow-frame reconciliation: the capacity ledger, the table, and
+	// the VMA planes describe the same retained frames.
+	if e.shd != nil {
+		perNode := e.shd.table.PerNodeBytes()
+		for i := range nodes {
+			if got := e.Sys.ShadowBytes(tier.NodeID(i)); got != perNode[i] {
+				probs = append(probs, fmt.Sprintf(
+					"%s shadow ledger: system holds %d shadow bytes, table entries sum to %d",
+					nodes[i].Name, got, perNode[i]))
+			}
+		}
+		if tc, pc := e.shd.table.Count(), len(e.shd.pages); tc != pc {
+			probs = append(probs, fmt.Sprintf(
+				"shadow table: %d entries but %d page back-references", tc, pc))
+		}
+		var planeCount int
+		for _, v := range e.AS.VMAs() {
+			planeCount += v.ShadowedCount()
+		}
+		if planeCount != e.shd.table.Count() {
+			probs = append(probs, fmt.Sprintf(
+				"shadow planes: %d pages marked shadowed, table holds %d entries",
+				planeCount, e.shd.table.Count()))
+		}
+	} else {
+		for i := range nodes {
+			if got := e.Sys.ShadowBytes(tier.NodeID(i)); got != 0 {
+				probs = append(probs, fmt.Sprintf(
+					"%s holds %d shadow bytes with no shadow table attached", nodes[i].Name, got))
+			}
+		}
+	}
+	if e.FreeDemotionBytes > e.DemotedBytes+e.intDemoted {
+		probs = append(probs, fmt.Sprintf(
+			"free demotions: %d bytes flipped exceeds %d bytes demoted",
+			e.FreeDemotionBytes, e.DemotedBytes+e.intDemoted))
+	}
+	if e.FreeDemotions > e.committedPages {
+		probs = append(probs, fmt.Sprintf(
+			"free demotions: %d flips exceed %d committed moves",
+			e.FreeDemotions, e.committedPages))
 	}
 
 	// Committed-move ledger. intPromoted/intDemoted cover a partially
@@ -130,6 +173,26 @@ func (e *Engine) Audit() error {
 		if got := e.met.breakerTrips.Value(); got != e.BreakerTrips {
 			probs = append(probs, fmt.Sprintf(
 				"metrics: breaker-trip counter %d != engine total %d", got, e.BreakerTrips))
+		}
+		if got := e.met.shadowFlips.Value(); got != e.FreeDemotions {
+			probs = append(probs, fmt.Sprintf(
+				"metrics: shadow-flip counter %d != free demotions %d", got, e.FreeDemotions))
+		}
+		if got := e.met.shadowHits.Value(); got != e.ShadowHits {
+			probs = append(probs, fmt.Sprintf(
+				"metrics: shadow-hit counter %d != engine total %d", got, e.ShadowHits))
+		}
+		if got := e.met.shadowInvalidations.Value(); got != e.ShadowInvalidations {
+			probs = append(probs, fmt.Sprintf(
+				"metrics: shadow-invalidation counter %d != engine total %d", got, e.ShadowInvalidations))
+		}
+		if got := e.met.shadowDropped.Value(); got != e.shadowDrops {
+			probs = append(probs, fmt.Sprintf(
+				"metrics: shadow-drop counter %d != engine total %d", got, e.shadowDrops))
+		}
+		if got := e.met.shadowRetained.Value(); got != e.shadowRetains {
+			probs = append(probs, fmt.Sprintf(
+				"metrics: shadow-retain counter %d != engine total %d", got, e.shadowRetains))
 		}
 	}
 

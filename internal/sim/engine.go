@@ -117,6 +117,7 @@ type Engine struct {
 	sp     *span.Tracer        // nil unless EnableSpans was called
 	hlt    *healthState        // nil unless EnableHealth was called
 	adm    *admissionState     // nil unless EnableAdmission was called
+	shd    *shadowState        // nil unless EnableShadow was called
 	evSeen map[string]struct{} // per-interval event dedup (emitEventOnce)
 
 	// Open page-move transaction (MoveBegin → MoveCommit/MoveAborted).
@@ -171,6 +172,15 @@ type Engine struct {
 	AdmissionDefers  int64 // planned moves deferred (budget / shedding)
 	AdmissionRejects int64 // planned moves rejected (ROI / victim heat)
 	ThrashSuppressed int64 // page moves blocked by the ping-pong cool-down
+
+	// Non-exclusive-tiering accounting (non-zero only with EnableShadow).
+	ShadowHits          int64 // demotion lookups that found a valid shadow
+	ShadowInvalidations int64 // shadows diverged by a write to the fast copy
+	FreeDemotions       int64 // demotions completed as zero-copy flips
+	FreeDemotionBytes   int64 // bytes demoted without copying
+	ShadowSyncBytes     int64 // bytes re-copied to shadows in the background
+	shadowRetains       int64 // promotions that retained their source frame
+	shadowDrops         int64 // shadows dropped (pressure/poison/drain/stale)
 
 	// Committed-move ledger and residency bookkeeping for Audit.
 	committedPages int64
@@ -280,6 +290,11 @@ func (e *Engine) handleFault(v *vm.VMA, idx int, socket int) (tier.NodeID, bool)
 	if node == tier.Invalid || !e.Sys.Reserve(node, v.PageSize) {
 		node = e.Sys.FirstFit(e.Sys.Topo.View(socket), v.PageSize)
 		if node == tier.Invalid {
+			// Shadow frames are soft capacity: reclaim them (oldest
+			// first) before resorting to emergency demotion.
+			node = e.shadowReclaimFor(e.Sys.Topo.View(socket), v.PageSize)
+		}
+		if node == tier.Invalid {
 			node = e.emergencyReclaim(socket, v.PageSize)
 		}
 		if node == tier.Invalid {
@@ -372,6 +387,7 @@ func (e *Engine) beginInterval() {
 	e.Sys.ResetWindow(e.Interval)
 	e.spansBeginInterval()
 	e.healthBeginInterval()
+	e.admissionBeginInterval()
 }
 
 func (e *Engine) endInterval() {
@@ -469,6 +485,20 @@ type Result struct {
 	AdmissionRejects int64 `json:",omitempty"`
 	ThrashSuppressed int64 `json:",omitempty"`
 
+	// Non-exclusive-tiering accounting (present only when the active
+	// policy retained shadow frames; omitted otherwise so shadow-free
+	// Result JSON is unchanged).
+	ShadowHits          int64 `json:",omitempty"`
+	ShadowInvalidations int64 `json:",omitempty"`
+	FreeDemotions       int64 `json:",omitempty"`
+	FreeDemotionBytes   int64 `json:",omitempty"`
+	ShadowSyncBytes     int64 `json:",omitempty"`
+
+	// MigratedBytes is the copy traffic actually paid for migration:
+	// promoted plus demoted volume minus the demotions that completed as
+	// zero-copy shadow flips.
+	MigratedBytes int64
+
 	// Metrics is the full observability export (instrument values,
 	// per-interval time series, event log) when the engine ran with
 	// EnableMetrics; nil otherwise.
@@ -497,36 +527,42 @@ func Run(e *Engine, w Workload, sol Solution, maxIntervals int) (*Result, error)
 	na := make([]int64, len(e.NodeAccesses))
 	copy(na, e.NodeAccesses)
 	return &Result{
-		Solution:           sol.Name(),
-		Workload:           w.Name(),
-		ExecTime:           e.clock,
-		App:                e.TotalApp,
-		Profiling:          e.TotalProf,
-		Migration:          e.TotalMig,
-		Background:         e.TotalBg,
-		Intervals:          e.Intervals,
-		Completed:          w.Done() && e.failed == nil,
-		Truncated:          e.failed == nil && !w.Done(),
-		NodeAccesses:       na,
-		TotalAccesses:      e.TotalAccesses,
-		PromotedBytes:      e.PromotedBytes,
-		DemotedBytes:       e.DemotedBytes,
-		MigrationRetries:   e.MigrationRetries,
-		MigrationAborts:    e.MigrationAborts,
-		WastedBytes:        e.WastedBytes,
-		DeferredPromotions: e.DeferredPromotions,
-		EmergencyDemotions: e.EmergencyDemotions,
-		PoisonedPages:      e.PoisonedPages,
-		PoisonRecoveries:   e.PoisonRecoveries,
-		DrainedBytes:       e.DrainedBytes,
-		BreakerTrips:       e.BreakerTrips,
-		DrainStalls:        e.DrainStalls,
-		AdmissionAdmits:    e.AdmissionAdmits,
-		AdmissionDefers:    e.AdmissionDefers,
-		AdmissionRejects:   e.AdmissionRejects,
-		ThrashSuppressed:   e.ThrashSuppressed,
-		TierStates:         e.TierStates(),
-		Metrics:            e.MetricsExport(),
-		Spans:              e.SpansExport(),
+		Solution:            sol.Name(),
+		Workload:            w.Name(),
+		ExecTime:            e.clock,
+		App:                 e.TotalApp,
+		Profiling:           e.TotalProf,
+		Migration:           e.TotalMig,
+		Background:          e.TotalBg,
+		Intervals:           e.Intervals,
+		Completed:           w.Done() && e.failed == nil,
+		Truncated:           e.failed == nil && !w.Done(),
+		NodeAccesses:        na,
+		TotalAccesses:       e.TotalAccesses,
+		PromotedBytes:       e.PromotedBytes,
+		DemotedBytes:        e.DemotedBytes,
+		MigrationRetries:    e.MigrationRetries,
+		MigrationAborts:     e.MigrationAborts,
+		WastedBytes:         e.WastedBytes,
+		DeferredPromotions:  e.DeferredPromotions,
+		EmergencyDemotions:  e.EmergencyDemotions,
+		PoisonedPages:       e.PoisonedPages,
+		PoisonRecoveries:    e.PoisonRecoveries,
+		DrainedBytes:        e.DrainedBytes,
+		BreakerTrips:        e.BreakerTrips,
+		DrainStalls:         e.DrainStalls,
+		AdmissionAdmits:     e.AdmissionAdmits,
+		AdmissionDefers:     e.AdmissionDefers,
+		AdmissionRejects:    e.AdmissionRejects,
+		ThrashSuppressed:    e.ThrashSuppressed,
+		ShadowHits:          e.ShadowHits,
+		ShadowInvalidations: e.ShadowInvalidations,
+		FreeDemotions:       e.FreeDemotions,
+		FreeDemotionBytes:   e.FreeDemotionBytes,
+		ShadowSyncBytes:     e.ShadowSyncBytes,
+		MigratedBytes:       e.PromotedBytes + e.DemotedBytes - e.FreeDemotionBytes,
+		TierStates:          e.TierStates(),
+		Metrics:             e.MetricsExport(),
+		Spans:               e.SpansExport(),
 	}, e.failed
 }

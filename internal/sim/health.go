@@ -163,6 +163,9 @@ func (e *Engine) healthBeginInterval() {
 		for i := range e.Sys.Topo.Nodes {
 			n := tier.NodeID(i)
 			if k := mp.MemErrorPages(n); k > 0 {
+				// The dying device backs shadow frames too: drop every
+				// shadow on it so a dead copy is never flipped to.
+				e.shadowDropNode(n)
 				e.poisonNode(n, k)
 			}
 		}
@@ -207,6 +210,7 @@ func (e *Engine) poisonNode(n tier.NodeID, k int) {
 func (e *Engine) poisonPage(v *vm.VMA, idx int) {
 	e.assertOwned("poisonPage")
 	n := v.Node(idx)
+	e.shadowDropPage(v, idx)
 	v.Poison(idx)
 	e.Sys.Quarantine(n, v.PageSize)
 	e.poisonedBytes += v.PageSize
@@ -261,6 +265,10 @@ func (e *Engine) applyTransitions(trs []health.Transition) {
 		switch tr.To {
 		case health.StateDraining, health.StateOffline:
 			e.Sys.SetAllocatable(n, false)
+			// A sick tier's shadow copies are unusable (a flip would
+			// re-place pages on it); drop them so their capacity drains
+			// with the live pages.
+			e.shadowDropNode(n)
 		case health.StateOnline:
 			e.Sys.SetAllocatable(n, true)
 		}

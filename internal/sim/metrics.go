@@ -99,6 +99,17 @@ type engineMetrics struct {
 	admRejected *metrics.Counter
 	admThrash   *metrics.Counter
 
+	// Non-exclusive-tiering instruments (registered unconditionally;
+	// they stay at zero unless EnableShadow is active).
+	shadowRetained      *metrics.Counter
+	shadowHits          *metrics.Counter
+	shadowInvalidations *metrics.Counter
+	shadowDropped       *metrics.Counter
+	shadowFlips         *metrics.Counter
+	shadowFlipBytes     *metrics.Counter
+	shadowSyncBytes     *metrics.Counter
+	shadowBytes         []*metrics.Gauge // per node
+
 	nodeAccesses []*metrics.Counter // per node
 	contention   []*metrics.Gauge   // per node
 	tierState    []*metrics.Gauge   // per node health state (0=Online..3=Offline)
@@ -154,15 +165,24 @@ func (e *Engine) EnableMetrics() *metrics.Registry {
 	m.admDeferred = reg.Counter("mtm_admission_deferred_total", "planned moves deferred by admission control (budget pressure)")
 	m.admRejected = reg.Counter("mtm_admission_rejected_total", "planned moves rejected by admission control (ROI)")
 	m.admThrash = reg.Counter("mtm_admission_thrash_suppressed_total", "page moves blocked by the ping-pong cool-down")
+	m.shadowRetained = reg.Counter("mtm_shadow_retained_total", "promotions that retained their source frame as a shadow")
+	m.shadowHits = reg.Counter("mtm_shadow_hits_total", "demotion lookups that found a valid shadow")
+	m.shadowInvalidations = reg.Counter("mtm_shadow_invalidations_total", "shadows diverged by a write to the fast copy")
+	m.shadowDropped = reg.Counter("mtm_shadow_dropped_total", "shadows dropped under pressure or health events")
+	m.shadowFlips = reg.Counter("mtm_shadow_flips_total", "demotions completed as zero-copy shadow flips")
+	m.shadowFlipBytes = reg.Counter("mtm_shadow_flip_bytes_total", "bytes demoted without copying")
+	m.shadowSyncBytes = reg.Counter("mtm_shadow_sync_bytes_total", "bytes re-copied to shadow frames in the background")
 
 	nodes := e.Sys.Topo.Nodes
 	m.nodeAccesses = make([]*metrics.Counter, len(nodes))
 	m.contention = make([]*metrics.Gauge, len(nodes))
 	m.tierState = make([]*metrics.Gauge, len(nodes))
+	m.shadowBytes = make([]*metrics.Gauge, len(nodes))
 	for i, n := range nodes {
 		m.nodeAccesses[i] = reg.Counter("mtm_sim_node_accesses_total", "application accesses served per node", metrics.L("node", n.Name))
 		m.contention[i] = reg.Gauge("mtm_sim_node_contention", "bandwidth-contention factor carried into the next interval", metrics.L("node", n.Name))
 		m.tierState[i] = reg.Gauge("mtm_health_tier_state", "tier health state (0=Online 1=Degraded 2=Draining 3=Offline)", metrics.L("node", n.Name))
+		m.shadowBytes[i] = reg.Gauge("mtm_shadow_bytes", "bytes held as retained shadow copies per node", metrics.L("node", n.Name))
 	}
 
 	pairCounters := func(name, help string) [][]*metrics.Counter {
@@ -285,6 +305,9 @@ func (e *Engine) metricsEndInterval(app time.Duration) {
 	for i, n := range e.intAccesses {
 		m.nodeAccesses[i].Add(n)
 		m.contention[i].Set(e.contention[i])
+		if e.shd != nil {
+			m.shadowBytes[i].Set(float64(e.Sys.ShadowBytes(tier.NodeID(i))))
+		}
 	}
 	m.reg.SetNow(e.Intervals, int64(e.clock))
 	m.reg.Sample()

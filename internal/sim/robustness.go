@@ -175,7 +175,11 @@ func (e *Engine) MoveBegin(v *vm.VMA, idx int, dst tier.NodeID) bool {
 		panic("sim: MoveBegin with a move transaction already open")
 	}
 	if !e.Sys.Reserve(dst, v.PageSize) {
-		return false
+		// Shadow frames on dst are soft capacity: reclaim the oldest
+		// until the page fits before giving up.
+		if !e.shadowMakeRoom(dst, v.PageSize) || !e.Sys.Reserve(dst, v.PageSize) {
+			return false
+		}
 	}
 	e.txnOpen = true
 	e.txnSrc = v.Node(idx)
@@ -193,7 +197,7 @@ func (e *Engine) MoveCommit(v *vm.VMA, idx int, dst tier.NodeID) {
 	}
 	src := e.txnSrc
 	e.txnOpen = false
-	if src != vm.NoNode && src != dst {
+	if !e.shadowMoveCommitted(v, idx, src, dst) && src != vm.NoNode && src != dst {
 		e.Sys.Release(src, v.PageSize)
 	}
 	v.Place(idx, dst)

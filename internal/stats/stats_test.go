@@ -70,6 +70,70 @@ func TestDetectionQualityHalf(t *testing.T) {
 	}
 }
 
+// TestDirtyPlaneReconciliation is the dirty-plane oracle: the word-wide
+// DirtyWord scan and the per-page TestAndClearDirty harvest must observe
+// exactly the same set of pages — the set that ground truth says took a
+// write this interval — and a harvest must consume each bit exactly once.
+// (The word path feeds bulk scans, the per-page path feeds shadow sync;
+// if they ever diverge, free demotions flip to stale frames.)
+func TestDirtyPlaneReconciliation(t *testing.T) {
+	as := vm.NewAddressSpace()
+	// 130 pages: spans three plane words, with writes straddling both
+	// word boundaries (63/64 and 127/128).
+	v := as.Alloc("v", 130*vm.HugePageSize)
+	written := make(map[int]bool)
+	for i := 0; i < v.NPages; i++ {
+		v.Place(i, 0)
+		var nw uint32
+		if i%3 == 0 || i == 63 || i == 64 || i == 127 || i == 128 {
+			nw = 1 + uint32(i%2) // writes of varying weight
+			written[i] = true
+		}
+		v.TouchN(i, 2, nw, 0) // every page is read; only some written
+	}
+
+	// Word-wide snapshot first: it must be a pure read (no clearing).
+	snap := make([]uint64, v.Words())
+	for w := 0; w < v.Words(); w++ {
+		snap[w] = v.DirtyWord(w)
+	}
+	for w := 0; w < v.Words(); w++ {
+		if v.DirtyWord(w) != snap[w] {
+			t.Fatalf("DirtyWord(%d) changed across reads", w)
+		}
+	}
+
+	// Both views must agree with ground truth, page by page.
+	for i := 0; i < v.NPages; i++ {
+		wordBit := snap[i/vm.WordPages]&(1<<uint(i%vm.WordPages)) != 0
+		if wordBit != written[i] {
+			t.Fatalf("DirtyWord bit for page %d = %v, ground truth %v", i, wordBit, written[i])
+		}
+		if got := v.TestAndClearDirty(i); got != written[i] {
+			t.Fatalf("TestAndClearDirty(%d) = %v, ground truth %v", i, got, written[i])
+		}
+	}
+
+	// The harvest consumed every bit: both views now read clean, and a
+	// second harvest observes nothing.
+	for w := 0; w < v.Words(); w++ {
+		if v.DirtyWord(w) != 0 {
+			t.Fatalf("DirtyWord(%d) = %#x after full harvest, want 0", w, v.DirtyWord(w))
+		}
+	}
+	for i := 0; i < v.NPages; i++ {
+		if v.TestAndClearDirty(i) {
+			t.Fatalf("second harvest of page %d observed a dirty bit", i)
+		}
+	}
+
+	// A fresh write re-arms exactly its own page.
+	v.TouchN(65, 1, 1, 0)
+	if !v.TestAndClearDirty(65) || v.DirtyWord(1) != 0 {
+		t.Fatal("re-armed dirty bit not observed or not consumed")
+	}
+}
+
 func TestBreakdownOf(t *testing.T) {
 	r := &sim.Result{App: time.Second, Profiling: time.Millisecond, Migration: 2 * time.Millisecond}
 	b := BreakdownOf(r)

@@ -1,0 +1,137 @@
+package tier
+
+// ShadowTable tracks retained slow-tier shadow frames for non-exclusive
+// tiering (Nomad, ASPLOS '23): when a page is promoted its old frame is
+// kept as a shadow instead of released, so a later demotion of the still-
+// clean page is a metadata flip with zero copy bytes.
+//
+// The table owns the shadow ledger of its System: every live entry holds
+// a ReserveShadow reservation, dropped entries release it. Entries are
+// keyed by an opaque page key chosen by the caller (the simulator uses
+// the page's virtual address). Per-node FIFO order is maintained so that
+// pressure reclaim evicts the oldest shadow first, deterministically.
+//
+// ShadowTable is not safe for concurrent use; like System, the engine
+// serialises access to it.
+type ShadowTable struct {
+	sys     *System
+	entries map[uint64]shadowEntry
+	// fifo[n] queues (key, seq) records in insertion order per node.
+	// Records are lazily invalidated: a record is live only while the
+	// entry's seq still matches (Drop/Put of the same key stales it).
+	fifo  [][]fifoEntry
+	heads []int
+	seq   uint64
+}
+
+type shadowEntry struct {
+	node  NodeID
+	bytes int64
+	seq   uint64
+}
+
+type fifoEntry struct {
+	key uint64
+	seq uint64
+}
+
+// NewShadowTable creates an empty shadow table over sys.
+func NewShadowTable(sys *System) *ShadowTable {
+	return &ShadowTable{
+		sys:     sys,
+		entries: make(map[uint64]shadowEntry),
+		fifo:    make([][]fifoEntry, len(sys.Topo.Nodes)),
+		heads:   make([]int, len(sys.Topo.Nodes)),
+	}
+}
+
+// Put retains b bytes on node n as the shadow of key. An existing shadow
+// for the key (on any node) is dropped first. It reports whether the
+// reservation fit; on false the table is unchanged except for the drop.
+func (t *ShadowTable) Put(key uint64, n NodeID, b int64) bool {
+	if _, ok := t.entries[key]; ok {
+		t.Drop(key)
+	}
+	if !t.sys.ReserveShadow(n, b) {
+		return false
+	}
+	t.seq++
+	t.entries[key] = shadowEntry{node: n, bytes: b, seq: t.seq}
+	t.fifo[n] = append(t.fifo[n], fifoEntry{key: key, seq: t.seq})
+	return true
+}
+
+// Get returns the node and size of the live shadow for key, if any.
+func (t *ShadowTable) Get(key uint64) (NodeID, int64, bool) {
+	e, ok := t.entries[key]
+	if !ok {
+		return Invalid, 0, false
+	}
+	return e.node, e.bytes, true
+}
+
+// Drop releases the shadow for key, returning what it held. The FIFO
+// record goes stale and is skipped lazily by OldestOn.
+func (t *ShadowTable) Drop(key uint64) (NodeID, int64, bool) {
+	e, ok := t.entries[key]
+	if !ok {
+		return Invalid, 0, false
+	}
+	delete(t.entries, key)
+	t.sys.ReleaseShadow(e.node, e.bytes)
+	return e.node, e.bytes, true
+}
+
+// OldestOn returns the key of the oldest live shadow on node n, if any.
+// The head is left pointing at that entry: the caller is expected to Drop
+// it (or act on it) before the next call, which then advances past it.
+func (t *ShadowTable) OldestOn(n NodeID) (uint64, bool) {
+	q := t.fifo[n]
+	h := t.heads[n]
+	for h < len(q) {
+		if e, ok := t.entries[q[h].key]; ok && e.seq == q[h].seq {
+			t.heads[n] = h
+			t.compact(n)
+			return q[h].key, true
+		}
+		h++
+	}
+	t.fifo[n] = q[:0]
+	t.heads[n] = 0
+	return 0, false
+}
+
+// compact copies the live tail down when the consumed prefix dominates,
+// bounding queue growth over long runs.
+func (t *ShadowTable) compact(n NodeID) {
+	if h := t.heads[n]; h >= 1024 && h*2 >= len(t.fifo[n]) {
+		t.fifo[n] = append(t.fifo[n][:0], t.fifo[n][h:]...)
+		t.heads[n] = 0
+	}
+}
+
+// KeysOn returns the live shadow keys on node n in FIFO order — the
+// deterministic iteration order for drop-all paths (drain, offline,
+// device-wide poison).
+func (t *ShadowTable) KeysOn(n NodeID) []uint64 {
+	var keys []uint64
+	for _, r := range t.fifo[n][t.heads[n]:] {
+		if e, ok := t.entries[r.key]; ok && e.seq == r.seq {
+			keys = append(keys, r.key)
+		}
+	}
+	return keys
+}
+
+// Count returns the number of live shadow entries.
+func (t *ShadowTable) Count() int { return len(t.entries) }
+
+// PerNodeBytes recomputes the shadow bytes per node from the entries map
+// (order-free sum; audit use).
+func (t *ShadowTable) PerNodeBytes() []int64 {
+	per := make([]int64, len(t.sys.Topo.Nodes))
+	for _, e := range t.entries {
+		per[e.node] += e.bytes
+	}
+	return per
+}

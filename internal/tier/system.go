@@ -17,6 +17,7 @@ type System struct {
 
 	used        []int64 // bytes allocated per node
 	quarantined []int64 // bytes lost to poisoned (dead) frames per node
+	shadow      []int64 // bytes held as retained shadow copies per node
 	offline     []bool  // true when the node accepts no new allocations
 	demand      []int64 // bytes transferred per node in the current window
 	window      time.Duration
@@ -41,6 +42,7 @@ func NewSystem(topo *Topology) *System {
 		Topo:        topo,
 		used:        make([]int64, len(topo.Nodes)),
 		quarantined: make([]int64, len(topo.Nodes)),
+		shadow:      make([]int64, len(topo.Nodes)),
 		offline:     make([]bool, len(topo.Nodes)),
 		demand:      make([]int64, len(topo.Nodes)),
 	}
@@ -59,13 +61,15 @@ func (s *System) Capacity(n NodeID) int64 { return s.Topo.Nodes[n].Capacity }
 func (s *System) Used(n NodeID) int64 { return s.used[n] }
 
 // Free returns the bytes still allocatable on a node: capacity minus live
-// allocations minus quarantined (poisoned) frames, or zero when the node
-// has been taken offline for new allocations.
+// allocations minus quarantined (poisoned) frames minus retained shadow
+// copies, or zero when the node has been taken offline for new
+// allocations. Shadow frames count against capacity but are soft: the
+// holder (the shadow table) can drop them under pressure to make room.
 func (s *System) Free(n NodeID) int64 {
 	if s.offline[n] {
 		return 0
 	}
-	return s.Topo.Nodes[n].Capacity - s.used[n] - s.quarantined[n]
+	return s.Topo.Nodes[n].Capacity - s.used[n] - s.quarantined[n] - s.shadow[n]
 }
 
 // Quarantine retires b bytes of node n's live allocation: the frames are
@@ -103,7 +107,7 @@ func (s *System) Reserve(n NodeID, b int64) bool {
 	if b < 0 {
 		panic(fmt.Sprintf("tier: Reserve(%d, %d): negative size", n, b))
 	}
-	if s.offline[n] || s.used[n]+s.quarantined[n]+b > s.Topo.Nodes[n].Capacity {
+	if s.offline[n] || s.used[n]+s.quarantined[n]+s.shadow[n]+b > s.Topo.Nodes[n].Capacity {
 		return false
 	}
 	s.used[n] += b
@@ -112,6 +116,34 @@ func (s *System) Reserve(n NodeID, b int64) bool {
 	}
 	return true
 }
+
+// ReserveShadow holds b bytes on node n as a retained shadow copy. Shadow
+// bytes occupy real frames — they count against capacity exactly like
+// used bytes — but live on a separate ledger so the auditor can reconcile
+// them and pressure-reclaim can sacrifice them first. It reports whether
+// the bytes fit; on false the system is unchanged.
+func (s *System) ReserveShadow(n NodeID, b int64) bool {
+	if b < 0 {
+		panic(fmt.Sprintf("tier: ReserveShadow(%d, %d): negative size", n, b))
+	}
+	if s.offline[n] || s.used[n]+s.quarantined[n]+s.shadow[n]+b > s.Topo.Nodes[n].Capacity {
+		return false
+	}
+	s.shadow[n] += b
+	return true
+}
+
+// ReleaseShadow returns b shadow bytes on node n to the free pool.
+// Releasing more than is held panics, like Release.
+func (s *System) ReleaseShadow(n NodeID, b int64) {
+	if b < 0 || s.shadow[n]-b < 0 {
+		panic(fmt.Sprintf("tier: ReleaseShadow(%d, %d) with shadow=%d", n, b, s.shadow[n]))
+	}
+	s.shadow[n] -= b
+}
+
+// ShadowBytes returns the bytes held as shadow copies on node n.
+func (s *System) ShadowBytes(n NodeID) int64 { return s.shadow[n] }
 
 // Release frees b bytes on node n. Releasing more than is allocated panics:
 // it means the caller's page accounting has desynchronised.

@@ -53,6 +53,19 @@ type VMA struct {
 	// lastSocket is the socket that issued the most recent access to the
 	// page, backing the hint-fault "who touched it" channel (§6.2).
 	lastSocket []int8
+
+	// Shadow planes for non-exclusive tiering (nil until the first
+	// MarkShadowed — runs without shadowing pay only a nil check in
+	// TouchN). shadowAll marks pages whose old frame is retained as a
+	// shadow copy; shadowValid marks the subset whose shadow is still
+	// byte-identical to the page. A write clears validity (the fast copy
+	// diverged) and fires onShadowWrite so the engine can count it.
+	shadowAll   Bitmap
+	shadowValid Bitmap
+	// onShadowWrite, when non-nil, is called with the page index on the
+	// write that invalidates a valid shadow (once per invalidation, not
+	// per write).
+	onShadowWrite func(idx int)
 }
 
 func newVMA(name string, base uint64, pageSize int64, nPages int) *VMA {
@@ -194,6 +207,10 @@ func (v *VMA) Poison(idx int) {
 	v.flags[idx] = v.flags[idx].Clear(WriteProtect).Set(Poisoned)
 	v.counts[idx] = 0
 	v.writes[idx] = 0
+	if v.shadowAll != nil {
+		v.shadowAll.Clear(idx)
+		v.shadowValid.Clear(idx)
+	}
 }
 
 // IsPoisoned reports whether page idx carries a pending memory error.
@@ -229,6 +246,12 @@ func (v *VMA) TouchN(idx int, n, nw uint32, socket int) (tier.NodeID, bool) {
 	v.touched.Set(idx)
 	if nw > 0 {
 		v.dirty.Set(idx)
+		if v.shadowValid != nil && v.shadowValid.Test(idx) {
+			v.shadowValid.Clear(idx)
+			if v.onShadowWrite != nil {
+				v.onShadowWrite(idx)
+			}
+		}
 	}
 	v.counts[idx] += n
 	v.writes[idx] += nw
@@ -270,6 +293,85 @@ func (v *VMA) TestAndClearDirty(idx int) bool {
 	set := v.dirty.Test(idx)
 	v.dirty.Clear(idx)
 	return set
+}
+
+// MarkShadowed records that page idx has a retained, currently-valid
+// shadow copy, installing fn as the write-invalidation hook. The planes
+// are allocated lazily on first use; fn is shared per VMA (the engine
+// passes the same closure every time) and must not be nil.
+func (v *VMA) MarkShadowed(idx int, fn func(idx int)) {
+	if v.shadowAll == nil {
+		v.shadowAll = NewBitmap(v.NPages)
+		v.shadowValid = NewBitmap(v.NPages)
+	}
+	v.onShadowWrite = fn
+	v.shadowAll.Set(idx)
+	v.shadowValid.Set(idx)
+}
+
+// ClearShadowed forgets the shadow of page idx (dropped or consumed).
+func (v *VMA) ClearShadowed(idx int) {
+	if v.shadowAll == nil {
+		return
+	}
+	v.shadowAll.Clear(idx)
+	v.shadowValid.Clear(idx)
+}
+
+// Shadowed reports whether page idx has a retained shadow copy (valid or
+// stale).
+func (v *VMA) Shadowed(idx int) bool { return v.shadowAll != nil && v.shadowAll.Test(idx) }
+
+// ShadowValid reports whether page idx has a shadow copy that is still
+// byte-identical to the page (no write since retention/revalidation).
+func (v *VMA) ShadowValid(idx int) bool { return v.shadowValid != nil && v.shadowValid.Test(idx) }
+
+// RevalidateShadow marks the shadow of page idx byte-identical again
+// (after a background re-sync copied the dirty page back). No-op if the
+// page is not shadowed.
+func (v *VMA) RevalidateShadow(idx int) {
+	if v.shadowAll != nil && v.shadowAll.Test(idx) {
+		v.shadowValid.Set(idx)
+	}
+}
+
+// HasShadows reports whether any page of the VMA ever grew a shadow plane
+// (cheap pre-filter for sweeps).
+func (v *VMA) HasShadows() bool { return v.shadowAll != nil }
+
+// ShadowedWord returns word w of the shadowed plane (0 when no page was
+// ever shadowed).
+func (v *VMA) ShadowedWord(w int) uint64 {
+	if v.shadowAll == nil {
+		return 0
+	}
+	return v.shadowAll.Word(w)
+}
+
+// ShadowValidRangeWord returns the valid-shadow pages of word w restricted
+// to [lo, hi).
+func (v *VMA) ShadowValidRangeWord(w, lo, hi int) uint64 {
+	if v.shadowValid == nil {
+		return 0
+	}
+	return v.shadowValid.RangeWord(w, lo, hi)
+}
+
+// ShadowStaleWord returns the pages of word w whose shadow exists but has
+// diverged (shadowed AND NOT valid) — the background re-sync work list.
+func (v *VMA) ShadowStaleWord(w int) uint64 {
+	if v.shadowAll == nil {
+		return 0
+	}
+	return v.shadowAll.Word(w) &^ v.shadowValid.Word(w)
+}
+
+// ShadowedCount returns the number of shadowed pages (audit use).
+func (v *VMA) ShadowedCount() int {
+	if v.shadowAll == nil {
+		return 0
+	}
+	return v.shadowAll.CountRange(0, v.NPages)
 }
 
 // SetWriteProtect arms or disarms write-protection on page idx.

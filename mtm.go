@@ -304,6 +304,11 @@ func (c Config) mtmSolution(label string, pmod func(*profiler.MTMConfig), mech m
 //	mtm, first-touch, slow-first, hmc, vanilla-tiered-autonuma,
 //	tiered-autonuma, autotiering, hemem
 //
+// Non-exclusive tiering (shadow-frame retention, zero-copy clean
+// demotion):
+//
+//	nomad
+//
 // Ablation variants of §9.3:
 //
 //	mtm-wo-amr, mtm-wo-pebs, mtm-wo-aps, mtm-wo-oc, mtm-wo-async,
@@ -359,6 +364,13 @@ func NewSolution(name string, c Config) (sim.Solution, error) {
 		s := policy.NewHeMem()
 		s.MigrateBudget = c.MigrateBudget
 		return s, nil
+	case "nomad":
+		s := policy.NewNomad()
+		s.Prof = c.mtmProfiler(nil)
+		s.MigrateBudget = c.MigrateBudget
+		s.DemoteCap = 2 * c.MigrateBudget
+		s.SyncBudget = 2 * c.MigrateBudget
+		return s, nil
 	}
 	return nil, fmt.Errorf("mtm: unknown solution %q (have %v)", name, SolutionNames())
 }
@@ -367,7 +379,7 @@ func NewSolution(name string, c Config) (sim.Solution, error) {
 func SolutionNames() []string {
 	names := []string{
 		"mtm", "first-touch", "slow-first", "hmc",
-		"vanilla-tiered-autonuma", "tiered-autonuma", "autotiering", "hemem",
+		"vanilla-tiered-autonuma", "tiered-autonuma", "autotiering", "hemem", "nomad",
 		"mtm-wo-amr", "mtm-wo-pebs", "mtm-wo-aps", "mtm-wo-oc", "mtm-wo-async",
 		"mtm-thermostat-prof", "mtm-autonuma-prof",
 	}

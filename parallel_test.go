@@ -233,6 +233,40 @@ func TestParallelDeterminismFaults(t *testing.T) {
 	runPair(t, cfg, "gups", "mtm")
 }
 
+// TestParallelDeterminismNomad pins the determinism invariant on the
+// non-exclusive tiering path explicitly: shadow retention, write
+// invalidation, background sync and flip demotion all mutate shared
+// state (the shadow table, the per-node shadow ledger, the free-demotion
+// counters), and all of it must stay bit-identical at any worker count —
+// on the workload whose churn exercises every one of those transitions,
+// with and without a flaky CXL tier aborting moves mid-retention. Audit
+// is on so the end-of-run residency/shadow reconciliation runs too.
+func TestParallelDeterminismNomad(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 512
+	cfg.OpsFactor = 0.25
+	cfg.Audit = true
+	t.Run("pingpong/nomad", func(t *testing.T) { runPair(t, cfg, "pingpong", "nomad") })
+	flaky := cfg
+	flaky.Faults = "cxl-flaky"
+	t.Run("pingpong/nomad/cxl-flaky", func(t *testing.T) { runPair(t, flaky, "pingpong", "nomad") })
+}
+
+// TestParallelDeterminismNomadSpans extends the Nomad invariant to the
+// span stream: shadow sync events, flip-demotion provenance and the
+// admission layer's flip decisions must serialize identically at
+// parallelism 1, 2 and 8.
+func TestParallelDeterminismNomadSpans(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 512
+	cfg.OpsFactor = 0.25
+	cfg.Audit = true
+	t.Run("pingpong/nomad", func(t *testing.T) { runSpanSet(t, cfg, "pingpong", "nomad") })
+	flaky := cfg
+	flaky.Faults = "cxl-flaky"
+	t.Run("pingpong/nomad/cxl-flaky", func(t *testing.T) { runSpanSet(t, flaky, "pingpong", "nomad") })
+}
+
 // TestParallelDeterminismAdmissionSpans pins the determinism invariant
 // on admission provenance: every admit/defer/reject decision span — ROI,
 // threshold, allowance, pair budget — must appear identically, in the
