@@ -179,6 +179,40 @@ func BenchmarkScanSteady(b *testing.B) {
 	}
 }
 
+// BenchmarkIntervalFidelitySample measures one fidelity-oracle sample
+// over the same 2 GB interval workload the profiler benchmarks use: truth
+// histogram, estimate grading against MTM's fixed region table, rank
+// agreement, lag transitions, and the heat row. The oracle reuses planes,
+// shard scratch, and cached phase closures after warm-up, so the steady
+// state allocates nothing; the CI allocs gate holds it at zero, and the
+// ns/op against BenchmarkIntervalSequential bounds the oracle's relative
+// wall-time cost. TestFidelitySampleZeroAlloc asserts the same
+// zero-alloc bound as a unit test.
+func BenchmarkIntervalFidelitySample(b *testing.B) {
+	e := sim.NewEngine(tier.OptaneTopology(8), 1)
+	e.Par = sim.NewPool(1)
+	e.Interval = 10 * 1e9 / 8
+	e.AS.THP = false
+	pc := profiler.DefaultMTMConfig()
+	pc.UsePEBS = false
+	pc.AdaptiveRegions = false
+	sol := policy.NewMTMVariant("mtm-fixed", profiler.NewMTM(pc), migrate.NewAdaptive())
+	e.SetSolution(sol)
+	e.EnableFidelity(sim.FidelityConfig{})
+	v := e.AS.Alloc("b", 2<<30)
+	for i := 0; i < v.NPages; i++ {
+		e.Access(v, i, uint32(1+i%97), 0, 0)
+	}
+	sol.Prof.Attach(e)
+	sol.Prof.Profile(e)
+	e.FidelitySample() // warm-up: size planes, shards, span list
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.FidelitySample()
+	}
+}
+
 // BenchmarkMigrate2MBRegion measures the three mechanisms moving one 2 MB
 // region between the fastest and slowest tiers (the Figure 3 scenario).
 func BenchmarkMigrate2MBRegion(b *testing.B) {

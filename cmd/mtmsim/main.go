@@ -12,6 +12,7 @@
 //	mtmsim -workload pingpong -solution nomad -budget-mb 6400 -audit
 //	mtmsim -workload gups -solution mtm -parallel 4 -json
 //	mtmsim -workload gups -solution mtm -metrics out.prom -metrics-format prom
+//	mtmsim -workload pingpong -solution mtm -fidelity -json
 //	mtmsim -list
 //
 // -parallel sets the worker count for the sharded profiling/migration
@@ -35,6 +36,13 @@
 // -metrics enables the observability layer and writes its export to the
 // given file; -metrics-format selects JSON (default) or Prometheus text
 // exposition format.
+//
+// -fidelity enables the ground-truth fidelity oracle: per-interval hot-set
+// precision/recall/F1 and rank agreement for the active profiler,
+// estimation lag, a migration-outcome lineage (every committed move judged
+// in hindsight within -fidelity-horizon intervals), and a time×address
+// hotness heatmap (truth vs estimate; see cmd/heatreport). The block rides
+// in the JSON result, so -fidelity requires -json.
 //
 // -spans enables the deterministic span tracer and writes the trace to the
 // given file; -spans-format selects the self-describing JSONL stream
@@ -84,6 +92,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		audit     = fs.Bool("audit", false, "cross-check residency/capacity/migration ledgers after the run")
 		parallel  = fs.Int("parallel", 0, "worker count for sharded phases (0 = GOMAXPROCS)")
 		jsonOut   = fs.Bool("json", false, "emit the result as JSON instead of the text report")
+		fidelity  = fs.Bool("fidelity", false, "enable the ground-truth fidelity oracle (requires -json; adds the Fidelity block)")
+		fidHrz    = fs.Int("fidelity-horizon", 0, "migration-outcome resolution window in intervals (0 = the default; requires -fidelity)")
 		metrics   = fs.String("metrics", "", "enable the metrics layer and write its export to this file")
 		metricsFm = fs.String("metrics-format", "json", "metrics file format: json or prom")
 		spans     = fs.String("spans", "", "enable the span tracer and write the trace to this file")
@@ -108,6 +118,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *spansFm != "jsonl" && *spansFm != "chrome" {
 		fmt.Fprintf(stderr, "mtmsim: invalid -spans-format %q (want jsonl or chrome)\n", *spansFm)
+		return 2
+	}
+	if *fidelity && !*jsonOut {
+		fmt.Fprintf(stderr, "mtmsim: -fidelity output is only emitted with -json (add -json or drop -fidelity)\n")
 		return 2
 	}
 
@@ -162,6 +176,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *admit {
 		cfg.Admission = &admission.Config{}
 	}
+	cfg.Fidelity = *fidelity
+	cfg.FidelityHorizon = *fidHrz
 
 	res, err := mtm.Run(cfg, *wl, *sol)
 	if err != nil && res == nil {

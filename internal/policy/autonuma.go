@@ -60,6 +60,15 @@ func (p *TieredAutoNUMA) Name() string {
 // Profiler exposes the underlying scan profiler (ablations, stats).
 func (p *TieredAutoNUMA) Profiler() profiler.Profiler { return p.prof }
 
+// Regions exposes the profiler's region set for profiling-quality
+// comparisons (the fidelity oracle grades it against ground truth).
+func (p *TieredAutoNUMA) Regions() []*region.Region {
+	if p.prof == nil {
+		return nil
+	}
+	return p.prof.Regions()
+}
+
 func (p *TieredAutoNUMA) Place(e *sim.Engine, v *vm.VMA, idx int, socket int) tier.NodeID {
 	return place(e, v, socket, PlaceFastFirst)
 }
@@ -150,7 +159,9 @@ func (p *TieredAutoNUMA) IntervalEnd(e *sim.Engine) {
 			}
 			continue
 		}
+		e.SetMoveContext("hot-threshold")
 		rep := p.mech.Migrate(e, r.V, r.Start, r.Start+pages, dst, 0)
+		e.ClearMoveContext()
 		if rep.Bytes > 0 {
 			budget -= rep.Bytes
 			promoted += rep.Bytes
@@ -215,7 +226,9 @@ func (p *TieredAutoNUMA) demoteFor(e *sim.Engine, regions []*region.Region, dst 
 			// Victim too hot or pair budget drained; next-coldest.
 			continue
 		}
+		e.SetMoveContext("lru-coldest")
 		rep := p.mech.Migrate(e, r.V, r.Start, r.End, lower, int(allowed/r.V.PageSize))
+		e.ClearMoveContext()
 		if rep.Bytes > 0 {
 			freed += rep.Bytes
 			e.NoteDemotion(rep.Bytes)

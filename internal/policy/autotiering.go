@@ -41,6 +41,15 @@ func (p *AutoTiering) Name() string { return "AutoTiering" }
 // Profiler exposes the underlying sampling profiler.
 func (p *AutoTiering) Profiler() profiler.Profiler { return p.prof }
 
+// Regions exposes the profiler's region set for profiling-quality
+// comparisons (the fidelity oracle grades it against ground truth).
+func (p *AutoTiering) Regions() []*region.Region {
+	if p.prof == nil {
+		return nil
+	}
+	return p.prof.Regions()
+}
+
 func (p *AutoTiering) Place(e *sim.Engine, v *vm.VMA, idx int, socket int) tier.NodeID {
 	return place(e, v, socket, PlaceFastFirst)
 }
@@ -129,7 +138,9 @@ func (p *AutoTiering) IntervalEnd(e *sim.Engine) {
 			if e.Sys.Free(dst) < allowed {
 				continue
 			}
+			e.SetMoveContext("sampled-recent")
 			rep := p.mech.Migrate(e, r.V, r.Start, r.Start+aPages, dst, 0)
+			e.ClearMoveContext()
 			if rep.Bytes > 0 {
 				budget -= rep.Bytes
 				e.NotePromotion(rep.Bytes)
@@ -182,7 +193,9 @@ func (p *AutoTiering) opportunisticDemote(e *sim.Engine, regions []*region.Regio
 			// budget gates; probe the next region.
 			continue
 		}
+		e.SetMoveContext("opportunistic")
 		rep := p.mech.Migrate(e, r.V, r.Start, r.End, lower, int(allowed/r.V.PageSize))
+		e.ClearMoveContext()
 		if rep.Bytes > 0 {
 			freed += rep.Bytes
 			e.NoteDemotion(rep.Bytes)

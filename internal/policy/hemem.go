@@ -179,7 +179,9 @@ func (p *HeMem) IntervalEnd(e *sim.Engine) {
 		if e.Sys.Free(dram) < bytes {
 			break
 		}
+		e.SetMoveContext("hot-samples")
 		rep := p.mech.Migrate(e, r.V, r.Start, r.End, dram, int(bytes/r.V.PageSize))
+		e.ClearMoveContext()
 		if rep.Bytes > 0 {
 			budget -= rep.Bytes
 			e.NotePromotion(rep.Bytes)
@@ -215,7 +217,9 @@ func (p *HeMem) demoteCold(e *sim.Engine, hist *region.Histogram, dram, pm tier.
 			// drained; try the next-coldest region.
 			continue
 		}
+		e.SetMoveContext("coldest-first")
 		rep := p.mech.Migrate(e, r.V, r.Start, r.End, pm, int(bytes/r.V.PageSize))
+		e.ClearMoveContext()
 		if rep.Bytes > 0 {
 			freed += rep.Bytes
 			e.NoteDemotion(rep.Bytes)

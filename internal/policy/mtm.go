@@ -79,6 +79,15 @@ func NewMTMVariant(label string, p profiler.Profiler, m migrate.Mechanism) *MTM 
 
 func (p *MTM) Name() string { return p.label }
 
+// Regions exposes the profiler's region set for profiling-quality
+// comparisons (the fidelity oracle grades it against ground truth).
+func (p *MTM) Regions() []*region.Region {
+	if p.Prof == nil {
+		return nil
+	}
+	return p.Prof.Regions()
+}
+
 func (p *MTM) Place(e *sim.Engine, v *vm.VMA, idx int, socket int) tier.NodeID {
 	return place(e, v, socket, p.Initial)
 }
@@ -212,7 +221,9 @@ func (p *MTM) promote(e *sim.Engine, hist *region.Histogram) {
 				}
 				continue
 			}
+			e.SetMoveContext("fast-promotion")
 			rep := p.Mech.Migrate(e, r.V, r.Start, r.End, dst, minInt(maxPages, int(allowed/r.V.PageSize)))
+			e.ClearMoveContext()
 			if rep.Bytes > 0 {
 				spent += rep.Bytes
 				e.NotePromotion(rep.Bytes)
@@ -320,7 +331,9 @@ func (p *MTM) makeRoom(e *sim.Engine, hist *region.Histogram, node tier.NodeID, 
 			// next-coldest victim.
 			continue
 		}
+		e.SetMoveContext("slow-demotion")
 		rep := p.Mech.Migrate(e, r.V, r.Start, r.End, dst, int(allowed/r.V.PageSize))
+		e.ClearMoveContext()
 		if rep.Bytes > 0 {
 			demoted += rep.Bytes
 			e.NoteDemotion(rep.Bytes)

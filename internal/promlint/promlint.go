@@ -104,6 +104,11 @@ func lintComment(line string, types map[string]string, seenSample map[string]boo
 		if !validTypes[typ] {
 			return fmt.Errorf("unknown type %q for %s", typ, name)
 		}
+		if typ == "counter" && !strings.HasSuffix(name, "_total") {
+			// Prometheus naming convention: monotonic counters carry the
+			// _total unit suffix so dashboards can tell rates from levels.
+			return fmt.Errorf("counter %s lacks the _total suffix", name)
+		}
 		if _, dup := types[name]; dup {
 			return fmt.Errorf("duplicate TYPE for %s", name)
 		}

@@ -33,8 +33,9 @@ func TestLintRejections(t *testing.T) {
 		"unquoted label":              `x_total{node=dram} 1` + "\n",
 		"bad label name":              `x_total{3node="a"} 1` + "\n",
 		"unknown type":                "# TYPE x_total flurble\nx_total 1\n",
-		"duplicate type":              "# TYPE x counter\n# TYPE x gauge\nx 1\n",
-		"type after samples":          "x 1\n# TYPE x counter\n",
+		"duplicate type":              "# TYPE x_total counter\n# TYPE x_total gauge\nx_total 1\n",
+		"type after samples":          "x_total 1\n# TYPE x_total counter\n",
+		"counter without _total":      "# TYPE x_count counter\nx_count 1\n",
 		"bucket without le":           "# TYPE h histogram\nh_bucket{node=\"a\"} 1\nh_sum 1\nh_count 1\n",
 		"unescaped backslash in HELP": "# HELP x_total path C:\\temp\n# TYPE x_total counter\nx_total 1\n",
 		"HELP continuation line":      "# HELP x_total line one\nline two\n# TYPE x_total counter\nx_total 1\n",

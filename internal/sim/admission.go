@@ -105,6 +105,7 @@ func (e *Engine) MigrationROI(src, dst tier.NodeID, pageSize int64, whi, reacces
 // admission-free runs bit-identical to the pre-admission engine.
 func (e *Engine) AdmitMigration(src, dst tier.NodeID, bytes, pageSize int64, whi, reaccess float64) admission.Decision {
 	if e.adm == nil || int(src) < 0 || int(dst) < 0 || src == dst {
+		e.fidelityNoteAdmission(admission.RuleAdmitted)
 		return admission.Decision{
 			Verdict:      admission.VerdictAdmit,
 			Rule:         admission.RuleAdmitted,
@@ -134,6 +135,7 @@ func (e *Engine) AdmitMigration(src, dst tier.NodeID, bytes, pageSize int64, whi
 			e.emitEventOnce(EventAdmissionReject, e.met.pairName[src][dst], bytes)
 		}
 	}
+	e.fidelityNoteAdmission(dec.Rule)
 	return dec
 }
 
@@ -162,6 +164,7 @@ func (e *Engine) AdmitFlip(src, dst tier.NodeID, bytes int64, whi, reaccess, fli
 		Rule:         admission.RuleShadowFlip,
 		AllowedBytes: bytes,
 	}
+	e.fidelityNoteAdmission(dec.Rule)
 	if e.adm == nil || int(src) < 0 || int(dst) < 0 || src == dst {
 		return dec
 	}

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mtm/internal/fidelity"
 	"mtm/internal/metrics"
 	"mtm/internal/pebs"
 	"mtm/internal/span"
@@ -118,6 +119,7 @@ type Engine struct {
 	hlt    *healthState        // nil unless EnableHealth was called
 	adm    *admissionState     // nil unless EnableAdmission was called
 	shd    *shadowState        // nil unless EnableShadow was called
+	fid    *fidelityState      // nil unless EnableFidelity was called
 	evSeen map[string]struct{} // per-interval event dedup (emitEventOnce)
 
 	// Open page-move transaction (MoveBegin → MoveCommit/MoveAborted).
@@ -392,6 +394,11 @@ func (e *Engine) beginInterval() {
 
 func (e *Engine) endInterval() {
 	e.healthEndInterval()
+	// The fidelity oracle samples here: after the solution's migration
+	// pass (so this interval's moves are in the lineage ledger) and before
+	// ResetCounts (the count planes are its ground truth). It runs before
+	// spansEndInterval so outcome events parent into the open interval.
+	e.fidelityEndInterval()
 	app := e.AppTimeThisInterval()
 	e.spansEndInterval(app)
 	e.clock += app + e.intProf + e.intMig
@@ -499,6 +506,12 @@ type Result struct {
 	// zero-copy shadow flips.
 	MigratedBytes int64
 
+	// Fidelity is the ground-truth oracle report (profiler accuracy,
+	// migration outcome lineage, hotness heatmap) when the engine ran with
+	// EnableFidelity; nil otherwise so fidelity-off Result JSON is
+	// unchanged.
+	Fidelity *fidelity.Report `json:",omitempty"`
+
 	// Metrics is the full observability export (instrument values,
 	// per-interval time series, event log) when the engine ran with
 	// EnableMetrics; nil otherwise.
@@ -562,6 +575,7 @@ func Run(e *Engine, w Workload, sol Solution, maxIntervals int) (*Result, error)
 		ShadowSyncBytes:     e.ShadowSyncBytes,
 		MigratedBytes:       e.PromotedBytes + e.DemotedBytes - e.FreeDemotionBytes,
 		TierStates:          e.TierStates(),
+		Fidelity:            e.FidelityReport(),
 		Metrics:             e.MetricsExport(),
 		Spans:               e.SpansExport(),
 	}, e.failed

@@ -1,0 +1,652 @@
+package sim
+
+import (
+	"math/bits"
+
+	"mtm/internal/fidelity"
+	"mtm/internal/metrics"
+	"mtm/internal/region"
+	"mtm/internal/span"
+	"mtm/internal/tier"
+	"mtm/internal/vm"
+)
+
+// fidShardPages is the fixed page span of one fidelity-oracle shard.
+// Like every sharded phase it is a constant — never derived from the
+// worker count — and a multiple of vm.WordPages, so each bitmap word of
+// the truth/estimate planes is owned by exactly one shard and shard
+// functions can store whole words without synchronisation.
+const fidShardPages = 1 << 15
+
+// DefaultFidelityHorizon is the outcome-resolution window, in intervals,
+// when FidelityConfig.Horizon is zero: a committed move that sees no
+// reaccess for this many intervals is judged wasted (promotions) or
+// correct (demotions).
+const DefaultFidelityHorizon = 8
+
+// FidelityConfig configures the ground-truth fidelity oracle.
+type FidelityConfig struct {
+	// Horizon is the outcome-resolution window in intervals; <= 0 selects
+	// DefaultFidelityHorizon.
+	Horizon int
+	// HotsetBytes is the top-K target: truth and estimated hot sets are
+	// each selected down to about this many bytes. <= 0 selects the
+	// machine's total DRAM capacity — "what would fit in fast memory".
+	HotsetBytes int64
+}
+
+// regionEstimator is implemented by solutions whose profiler exposes its
+// region table; the oracle grades that table against ground truth.
+// Solutions without one (first-touch, slow-first, hmc) still get lineage
+// and truth heat rows — their estimate is simply empty.
+type regionEstimator interface {
+	Regions() []*region.Region
+}
+
+// fidelityPlane is the oracle's per-VMA state: the truth hot set of this
+// and the previous interval, the profiler's estimated hot set, and the
+// turn-hot stamps for estimation-lag tracking.
+type fidelityPlane struct {
+	truth vm.Bitmap // ground-truth hot set, this interval
+	prev  vm.Bitmap // ground-truth hot set, previous interval
+	est   vm.Bitmap // profiler's estimated hot set, this interval
+	pend  vm.Bitmap // turned hot, not yet seen by the profiler
+	// hotSince[i] is the interval page i turned hot (valid while the pend
+	// bit is set).
+	hotSince []int32
+}
+
+// fidShard is one shard's scratch for the oracle's parallel phases; the
+// serialized loop merges shards in index order.
+type fidShard struct {
+	buckets      fidelity.Buckets
+	touchedBytes int64
+	touchedPages int64
+	accesses     int64
+
+	truthBytes int64
+	estBytes   int64
+	interBytes int64
+
+	lagSum int64
+	lagN   int64
+	missed int64
+
+	colsTruth [fidelity.HeatCols]int64
+	colsEst   [fidelity.HeatCols]int64
+}
+
+// fidSpan is one shard's work item: a page range of one VMA plus the
+// VMA's byte offset in the global address-column mapping.
+type fidSpan struct {
+	v       *vm.VMA
+	pl      *fidelityPlane
+	lo, hi  int
+	baseOff int64
+}
+
+// pendingMove is one committed page move awaiting its hindsight verdict.
+type pendingMove struct {
+	v        *vm.VMA
+	idx      int32
+	interval int32
+	promote  bool
+	flip     bool
+	rule     string
+	adm      string
+	src, dst tier.NodeID
+}
+
+// fidelityState is the engine-side oracle. Nil unless EnableFidelity was
+// called; every hook is nil-safe so a fidelity-off run takes no branches
+// beyond one pointer test.
+type fidelityState struct {
+	horizon int
+	hotset  int64
+
+	planes map[*vm.VMA]*fidelityPlane
+	shards []*fidShard
+	spans  []fidSpan
+
+	// Cached shard functions (built on first sample) plus the per-sample
+	// inputs they read from the state: closures passed to Parallel must be
+	// allocated once, not per interval, to keep the steady-state sample
+	// zero-alloc.
+	phaseA      func(int)
+	phaseB      func(int)
+	curCut      int
+	curInterval int32
+	totalBytes  int64
+
+	// Pending-move ledger (FIFO in commit order; compacted in place).
+	pend []pendingMove
+	// Decision context for the next committed moves: the policy rule
+	// (SetMoveContext) and the admission rule (recorded by
+	// AdmitMigration/AdmitFlip).
+	ctxRule string
+	ctxAdm  string
+
+	outcomes fidelity.OutcomeCounts
+	byRule   map[fidelity.RuleKey]*fidelity.OutcomeCounts
+
+	samples int
+	scored  int
+	sumP    float64
+	sumR    float64
+	sumF    float64
+	sumRank float64
+
+	lagSum int64
+	lagN   int64
+	missed int64
+
+	heat *fidelity.Heatmap
+
+	// Reusable rank-agreement inputs (one entry per region).
+	whiBuf   []float64
+	denBuf   []float64
+	bytesBuf []int64
+
+	// Metrics handles; nil without EnableMetrics.
+	gPrec       *metrics.Gauge
+	gRec        *metrics.Gauge
+	gF1         *metrics.Gauge
+	gRank       *metrics.Gauge
+	gTruthBytes *metrics.Gauge
+	gEstBytes   *metrics.Gauge
+	cLag        *metrics.Counter
+	cLagSamples *metrics.Counter
+	cMissed     *metrics.Counter
+	cOutcome    [fidelity.NumVerdicts]*metrics.Counter
+}
+
+// EnableFidelity turns on the ground-truth fidelity oracle: once per
+// interval — after migration, before the count planes reset — the engine
+// samples per-page access truth, grades the active profiler's hot set
+// against it, and resolves the hindsight verdict of every committed move
+// within the configured horizon. Idempotent; call after Interval is set
+// and after EnableMetrics/EnableSpans so the oracle's instruments and
+// outcome events register with them.
+func (e *Engine) EnableFidelity(cfg FidelityConfig) {
+	if e.fid != nil {
+		return
+	}
+	f := &fidelityState{
+		horizon: cfg.Horizon,
+		hotset:  cfg.HotsetBytes,
+		planes:  map[*vm.VMA]*fidelityPlane{},
+		byRule:  map[fidelity.RuleKey]*fidelity.OutcomeCounts{},
+		heat:    &fidelity.Heatmap{Cols: fidelity.HeatCols, Rows: make([]fidelity.HeatRow, 0, 256)},
+	}
+	if f.horizon <= 0 {
+		f.horizon = DefaultFidelityHorizon
+	}
+	if f.hotset <= 0 {
+		for _, n := range e.Sys.Topo.Nodes {
+			if n.Kind == tier.DRAM {
+				f.hotset += n.Capacity
+			}
+		}
+	}
+	// Bind the shard phases once: handing a fresh closure to Parallel every
+	// interval would allocate on the steady-state sample path.
+	f.phaseA = f.runPhaseA
+	f.phaseB = f.runPhaseB
+	if reg := e.Metrics(); reg != nil {
+		f.gPrec = reg.Gauge("mtm_fidelity_precision", "hot-set precision of the profiler estimate vs ground truth, this interval")
+		f.gRec = reg.Gauge("mtm_fidelity_recall", "hot-set recall of the profiler estimate vs ground truth, this interval")
+		f.gF1 = reg.Gauge("mtm_fidelity_f1", "hot-set F1 of the profiler estimate vs ground truth, this interval")
+		f.gRank = reg.Gauge("mtm_fidelity_rank_agreement", "WHI-vs-truth rank agreement of the profiler's region ordering, this interval")
+		f.gTruthBytes = reg.Gauge("mtm_fidelity_truth_hot_bytes", "bytes in the ground-truth hot set, this interval")
+		f.gEstBytes = reg.Gauge("mtm_fidelity_est_hot_bytes", "bytes in the profiler's estimated hot set, this interval")
+		f.cLag = reg.Counter("mtm_fidelity_lag_intervals_total", "summed intervals between pages turning hot and the profiler seeing them")
+		f.cLagSamples = reg.Counter("mtm_fidelity_lag_samples_total", "pages whose turn-hot was eventually seen by the profiler")
+		f.cMissed = reg.Counter("mtm_fidelity_missed_hot_pages_total", "pages that turned hot and went cold again unseen by the profiler")
+		for vd := fidelity.Verdict(0); vd < fidelity.NumVerdicts; vd++ {
+			f.cOutcome[vd] = reg.Counter("mtm_fidelity_moves_resolved_total", "committed page moves resolved per hindsight verdict", metrics.L("verdict", vd.String()))
+		}
+	}
+	e.fid = f
+}
+
+// FidelityEnabled reports whether the fidelity oracle is on.
+func (e *Engine) FidelityEnabled() bool { return e.fid != nil }
+
+// SetMoveContext records the policy rule governing the page moves that
+// follow (until ClearMoveContext); committed moves inherit it into their
+// lineage entry. No-op without the fidelity oracle.
+func (e *Engine) SetMoveContext(rule string) {
+	if e.fid != nil {
+		e.assertOwned("SetMoveContext")
+		e.fid.ctxRule = rule
+	}
+}
+
+// ClearMoveContext clears the policy-rule and admission-rule context.
+func (e *Engine) ClearMoveContext() {
+	if e.fid != nil {
+		e.fid.ctxRule, e.fid.ctxAdm = "", ""
+	}
+}
+
+// fidelityNoteAdmission records the admission rule that priced the moves
+// that follow; called by AdmitMigration/AdmitFlip.
+func (e *Engine) fidelityNoteAdmission(rule string) {
+	if e.fid != nil {
+		e.fid.ctxAdm = rule
+	}
+}
+
+// fidelityMoveCommitted appends one committed move to the pending-move
+// ledger under the current decision context. Called from MoveCommit and
+// FlipDemote on the serialized path, in commit order, so the ledger —
+// and every verdict resolved from it — is parallelism-invariant.
+func (e *Engine) fidelityMoveCommitted(v *vm.VMA, idx int, src, dst tier.NodeID, flip bool) {
+	f := e.fid
+	if f == nil {
+		return
+	}
+	if int(src) < 0 || int(dst) < 0 {
+		return // first placement, not a move between tiers
+	}
+	rule := f.ctxRule
+	if rule == "" {
+		rule = "unattributed"
+	}
+	adm := f.ctxAdm
+	if adm == "" {
+		adm = "unguarded"
+	}
+	f.pend = append(f.pend, pendingMove{
+		v:        v,
+		idx:      int32(idx),
+		interval: int32(e.Intervals),
+		promote:  e.Sys.Topo.Rank(e.HomeSocket, dst) < e.Sys.Topo.Rank(e.HomeSocket, src),
+		flip:     flip,
+		rule:     rule,
+		adm:      adm,
+		src:      src,
+		dst:      dst,
+	})
+}
+
+// solutionRegions returns the active solution's profiled region table, or
+// nil when it does not expose one.
+func (e *Engine) solutionRegions() []*region.Region {
+	if re, ok := e.sol.(regionEstimator); ok {
+		return re.Regions()
+	}
+	return nil
+}
+
+func (f *fidelityState) growShards(n int) {
+	for len(f.shards) < n {
+		f.shards = append(f.shards, new(fidShard))
+	}
+}
+
+// runPhaseA is the sharded truth-histogram phase: bytes per log2(count)
+// bucket plus the touched-page and access tallies for this shard's span.
+func (f *fidelityState) runPhaseA(si int) {
+	s := f.shards[si]
+	sp := &f.spans[si]
+	tb, tp, acc := fidelity.AccumulateTruth(sp.v, sp.lo, sp.hi, &s.buckets)
+	s.touchedBytes += tb
+	s.touchedPages += tp
+	s.accesses += acc
+}
+
+// runPhaseB is the sharded scoring phase: truth membership at curCut,
+// truth-vs-estimate overlap, estimation-lag transitions, heat columns.
+func (f *fidelityState) runPhaseB(si int) {
+	s := f.shards[si]
+	sp := &f.spans[si]
+	v, pl := sp.v, sp.pl
+	ps := v.PageSize
+	cut, interval, totalBytes := f.curCut, f.curInterval, f.totalBytes
+	for w := sp.lo / vm.WordPages; w*vm.WordPages < sp.hi; w++ {
+		var tw uint64
+		cand := v.TouchedRangeWord(w, sp.lo, sp.hi) & v.PresentRangeWord(w, sp.lo, sp.hi)
+		for word := cand; word != 0; {
+			i := w*vm.WordPages + bits.TrailingZeros64(word)
+			word &= word - 1
+			if bits.Len32(v.Count(i)) >= cut {
+				tw |= 1 << uint(i&63)
+			}
+		}
+		ew := pl.est.Word(w)
+		pw := pl.prev.Word(w)
+		pendw := pl.pend.Word(w)
+
+		s.truthBytes += int64(bits.OnesCount64(tw)) * ps
+		s.estBytes += int64(bits.OnesCount64(ew)) * ps
+		s.interBytes += int64(bits.OnesCount64(tw&ew)) * ps
+
+		// Lag transitions. Seen: a pending page entered the estimated
+		// hot set — close its lag sample.
+		seen := ew & pendw
+		for word := seen; word != 0; {
+			i := w*vm.WordPages + bits.TrailingZeros64(word)
+			word &= word - 1
+			s.lagSum += int64(interval - pl.hotSince[i])
+			s.lagN++
+			pl.hotSince[i] = -1
+		}
+		pendw &^= seen
+		// Missed: a pending page went cold before the profiler ever
+		// covered it.
+		missed := pendw &^ tw
+		s.missed += int64(bits.OnesCount64(missed))
+		for word := missed; word != 0; {
+			i := w*vm.WordPages + bits.TrailingZeros64(word)
+			word &= word - 1
+			pl.hotSince[i] = -1
+		}
+		pendw &^= missed
+		// Instantly seen: turned hot already inside the estimate —
+		// a zero-lag sample.
+		s.lagN += int64(bits.OnesCount64(tw &^ pw & ew &^ pendw))
+		// Newly hot, unseen: start the lag clock.
+		newh := tw &^ pw &^ ew &^ pendw
+		for word := newh; word != 0; {
+			i := w*vm.WordPages + bits.TrailingZeros64(word)
+			word &= word - 1
+			pl.hotSince[i] = interval
+		}
+		pendw |= newh
+
+		pl.pend[w] = pendw
+		pl.truth[w] = tw
+		pl.prev[w] = tw // becomes "previous" for the next sample
+
+		// Heat columns: hot bytes per address-space slice.
+		for word := tw; word != 0; {
+			i := w*vm.WordPages + bits.TrailingZeros64(word)
+			word &= word - 1
+			col := int((sp.baseOff + int64(i)*ps) * fidelity.HeatCols / totalBytes)
+			s.colsTruth[col] += ps
+		}
+		for word := ew; word != 0; {
+			i := w*vm.WordPages + bits.TrailingZeros64(word)
+			word &= word - 1
+			col := int((sp.baseOff + int64(i)*ps) * fidelity.HeatCols / totalBytes)
+			s.colsEst[col] += ps
+		}
+	}
+}
+
+// FidelitySample takes one oracle sample immediately, outside the normal
+// end-of-interval sequence. It reads (and does not reset) the current
+// count planes, so callers own the surrounding ResetCounts discipline.
+// Exported for the zero-alloc gate and the sampling benchmark; simulation
+// runs never need it.
+func (e *Engine) FidelitySample() { e.fidelityEndInterval() }
+
+// fidelityEndInterval takes the once-per-interval oracle sample. It runs
+// on the serialized path after the solution's migration pass and MUST run
+// before AddressSpace.ResetCounts — the count planes are the ground
+// truth. It charges no virtual time: the oracle is measurement
+// scaffolding, not part of the simulated system, so enabling it cannot
+// perturb the run it grades.
+func (e *Engine) fidelityEndInterval() {
+	f := e.fid
+	if f == nil {
+		return
+	}
+	vmas := e.AS.VMAs()
+
+	// Rebuild the shard span list and the global byte-offset mapping for
+	// the heatmap columns. Plane creation happens here, on the serialized
+	// path, so shard functions only index stable state.
+	f.spans = f.spans[:0]
+	f.totalBytes = 0
+	for _, v := range vmas {
+		f.totalBytes += v.Bytes()
+	}
+	var off int64
+	for _, v := range vmas {
+		pl := f.planes[v]
+		if pl == nil {
+			pl = &fidelityPlane{
+				truth:    vm.NewBitmap(v.NPages),
+				prev:     vm.NewBitmap(v.NPages),
+				est:      vm.NewBitmap(v.NPages),
+				pend:     vm.NewBitmap(v.NPages),
+				hotSince: make([]int32, v.NPages),
+			}
+			for i := range pl.hotSince {
+				pl.hotSince[i] = -1
+			}
+			f.planes[v] = pl
+		}
+		for lo := 0; lo < v.NPages; lo += fidShardPages {
+			hi := lo + fidShardPages
+			if hi > v.NPages {
+				hi = v.NPages
+			}
+			f.spans = append(f.spans, fidSpan{v: v, pl: pl, lo: lo, hi: hi, baseOff: off})
+		}
+		off += v.Bytes()
+	}
+	ns := len(f.spans)
+	f.samples++
+	if ns == 0 {
+		e.fidelityResolve()
+		return
+	}
+	f.growShards(ns)
+	for _, s := range f.shards[:ns] {
+		*s = fidShard{}
+	}
+
+	// Phase A (sharded): bytes-per-log2(count) truth histogram. Merged in
+	// shard order; the hot-set cutoff is a pure function of the merge.
+	e.Parallel(ns, f.phaseA)
+	var bk fidelity.Buckets
+	var touchedPages, accesses int64
+	for _, s := range f.shards[:ns] {
+		bk.Add(&s.buckets)
+		touchedPages += s.touchedPages
+		accesses += s.accesses
+	}
+	f.curCut = bk.CutBucket(f.hotset, fidelity.MinHotBucket(accesses, touchedPages))
+
+	// Estimate plane (serialized): clear and re-mark from the profiler's
+	// hottest regions down to the same byte target. Word-wide stores; the
+	// region list is small.
+	for _, v := range vmas {
+		f.planes[v].est.ClearAll()
+	}
+	regions := e.solutionRegions()
+	f.markEstimate(regions)
+
+	// Rank-agreement inputs: per-region ground-truth access density from
+	// the same count plane the profiler could only sample.
+	f.whiBuf, f.denBuf, f.bytesBuf = f.whiBuf[:0], f.denBuf[:0], f.bytesBuf[:0]
+	for _, r := range regions {
+		var sum int64
+		for w := r.Start / vm.WordPages; w*vm.WordPages < r.End; w++ {
+			word := r.V.TouchedRangeWord(w, r.Start, r.End) & r.V.PresentRangeWord(w, r.Start, r.End)
+			for word != 0 {
+				i := w*vm.WordPages + bits.TrailingZeros64(word)
+				word &= word - 1
+				sum += int64(r.V.Count(i))
+			}
+		}
+		den := 0.0
+		if rp := r.End - r.Start; rp > 0 {
+			den = float64(sum) / float64(rp)
+		}
+		f.whiBuf = append(f.whiBuf, r.WHI)
+		f.denBuf = append(f.denBuf, den)
+		f.bytesBuf = append(f.bytesBuf, int64(r.End-r.Start)*r.V.PageSize)
+	}
+	rank := fidelity.RankAgreement(f.whiBuf, f.denBuf, f.bytesBuf)
+
+	// Phase B (sharded): truth membership, truth-vs-estimate overlap,
+	// estimation-lag transitions, heat columns. Each bitmap word belongs
+	// to exactly one shard (fidShardPages is a multiple of vm.WordPages),
+	// so whole-word stores need no synchronisation.
+	f.curInterval = int32(e.Intervals)
+	e.Parallel(ns, f.phaseB)
+
+	// Merge in shard order and score the interval.
+	var truthB, estB, interB, dLag, dLagN, dMissed int64
+	row := fidelity.HeatRow{Interval: e.Intervals}
+	for _, s := range f.shards[:ns] {
+		truthB += s.truthBytes
+		estB += s.estBytes
+		interB += s.interBytes
+		dLag += s.lagSum
+		dLagN += s.lagN
+		dMissed += s.missed
+		for c := range row.Truth {
+			row.Truth[c] += s.colsTruth[c]
+			row.Est[c] += s.colsEst[c]
+		}
+	}
+	f.lagSum += dLag
+	f.lagN += dLagN
+	f.missed += dMissed
+	f.heat.Rows = append(f.heat.Rows, row)
+
+	p, r, f1 := fidelity.PRF(truthB, estB, interB)
+	if truthB > 0 && estB > 0 {
+		f.scored++
+		f.sumP += p
+		f.sumR += r
+		f.sumF += f1
+		f.sumRank += rank
+	}
+
+	if f.gPrec != nil {
+		f.gPrec.Set(p)
+		f.gRec.Set(r)
+		f.gF1.Set(f1)
+		f.gRank.Set(rank)
+		f.gTruthBytes.Set(float64(truthB))
+		f.gEstBytes.Set(float64(estB))
+		f.cLag.Add(dLag)
+		f.cLagSamples.Add(dLagN)
+		f.cMissed.Add(dMissed)
+	}
+
+	e.fidelityResolve()
+}
+
+// markEstimate marks the profiler's estimated hot set: regions are
+// bucketised by WHI into 32 equal-width buckets and whole buckets are
+// taken hottest-first until the byte target is covered — a pure function
+// of the region table, mirroring fidelity.Buckets.CutBucket on the truth
+// side.
+func (f *fidelityState) markEstimate(regions []*region.Region) {
+	var maxW float64
+	for _, r := range regions {
+		if r.WHI > maxW {
+			maxW = r.WHI
+		}
+	}
+	if maxW <= 0 {
+		return
+	}
+	const nb = 32
+	var bbytes [nb]int64
+	for _, r := range regions {
+		if r.WHI <= 0 {
+			continue
+		}
+		b := int(r.WHI / maxW * nb)
+		if b > nb-1 {
+			b = nb - 1
+		}
+		bbytes[b] += int64(r.End-r.Start) * r.V.PageSize
+	}
+	cut := nb - 1
+	var acc int64
+	for k := nb - 1; k >= 0; k-- {
+		acc += bbytes[k]
+		cut = k
+		if acc >= f.hotset {
+			break
+		}
+	}
+	for _, r := range regions {
+		if r.WHI <= 0 {
+			continue
+		}
+		b := int(r.WHI / maxW * nb)
+		if b > nb-1 {
+			b = nb - 1
+		}
+		if b < cut {
+			continue
+		}
+		if pl := f.planes[r.V]; pl != nil {
+			pl.est.SetRange(r.Start, r.End)
+		}
+	}
+}
+
+// fidelityResolve walks the pending-move ledger in commit order and
+// resolves every move that saw a reaccess this interval or whose horizon
+// expired. Resolution reads the same count plane the truth sample did,
+// so it must also run before ResetCounts. Moves committed this interval
+// are skipped — their counts predate the move.
+func (e *Engine) fidelityResolve() {
+	f := e.fid
+	cur := int32(e.Intervals)
+	keep := f.pend[:0]
+	for i := range f.pend {
+		m := &f.pend[i]
+		if m.interval >= cur {
+			keep = append(keep, *m)
+			continue
+		}
+		reaccessed := m.v.Present(int(m.idx)) && m.v.Count(int(m.idx)) > 0
+		if !reaccessed && cur-m.interval < int32(f.horizon) {
+			keep = append(keep, *m)
+			continue
+		}
+		vd := fidelity.Resolve(m.promote, m.flip, reaccessed)
+		f.outcomes[vd]++
+		key := fidelity.RuleKey{Rule: m.rule, Admission: m.adm}
+		c := f.byRule[key]
+		if c == nil {
+			c = new(fidelity.OutcomeCounts)
+			f.byRule[key] = c
+		}
+		c[vd]++
+		if f.cOutcome[vd] != nil {
+			f.cOutcome[vd].Inc()
+		}
+		if e.sp != nil {
+			e.SpanEvent("migration", "outcome",
+				span.S("verdict", vd.String()),
+				span.S("rule", m.rule),
+				span.S("admission", m.adm),
+				span.S("vma", m.v.Name),
+				span.I("page", int64(m.idx)),
+				span.S("src", e.Sys.Topo.Nodes[m.src].Name),
+				span.S("dst", e.Sys.Topo.Nodes[m.dst].Name),
+				span.I("lag_intervals", int64(cur-m.interval)))
+		}
+	}
+	f.pend = keep
+}
+
+// FidelityReport assembles the Result.Fidelity block; nil without
+// EnableFidelity, so fidelity-off Result JSON is unchanged.
+func (e *Engine) FidelityReport() *fidelity.Report {
+	f := e.fid
+	if f == nil {
+		return nil
+	}
+	heat := f.heat
+	if len(heat.Rows) == 0 {
+		heat = nil
+	}
+	return fidelity.BuildReport(f.samples, f.scored, f.hotset, f.horizon,
+		f.sumP, f.sumR, f.sumF, f.sumRank,
+		f.lagSum, f.lagN, f.missed,
+		f.outcomes, int64(len(f.pend)), f.byRule, heat)
+}

@@ -205,6 +205,7 @@ func (e *Engine) MoveCommit(v *vm.VMA, idx int, dst tier.NodeID) {
 	e.committedBytes += v.PageSize
 	e.recordMoveSuccess(src, dst)
 	e.admissionMoveCommitted(v, idx, src, dst)
+	e.fidelityMoveCommitted(v, idx, src, dst, false)
 	if e.met != nil {
 		pairCounter(e.met.movedPages, src, dst).Inc()
 	}
@@ -394,6 +395,8 @@ func (e *Engine) demoteColdest(node tier.NodeID, lower []tier.NodeID, need int64
 	// stable sort keeps victim selection deterministic.
 	sort.SliceStable(pages, func(a, b int) bool { return pages[a].count < pages[b].count })
 	var freed int64
+	e.SetMoveContext("emergency-demotion")
+	defer e.ClearMoveContext()
 	for _, p := range pages {
 		if freed >= need {
 			break

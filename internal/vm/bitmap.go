@@ -47,6 +47,23 @@ func rangeMasks(lo, hi int) (firstWord, lastWord int, firstMask, lastMask uint64
 	return
 }
 
+// SetRange sets every bit in [lo, hi) via word-wide stores.
+func (b Bitmap) SetRange(lo, hi int) {
+	if lo >= hi {
+		return
+	}
+	fw, lw, fm, lm := rangeMasks(lo, hi)
+	if fw == lw {
+		b[fw] |= fm & lm
+		return
+	}
+	b[fw] |= fm
+	for w := fw + 1; w < lw; w++ {
+		b[w] = ^uint64(0)
+	}
+	b[lw] |= lm
+}
+
 // CountRange returns the number of set bits in [lo, hi) via word-wide
 // popcounts.
 func (b Bitmap) CountRange(lo, hi int) int {

@@ -122,6 +122,19 @@ type Config struct {
 	// are cross-checked, and any drift is returned as a *sim.AuditError
 	// joined with the run's own error.
 	Audit bool
+	// Fidelity enables the ground-truth fidelity oracle: once per
+	// interval the engine samples per-page access truth, grades the
+	// active profiler's hot set against it (precision/recall/F1, rank
+	// agreement, estimation lag), and resolves a hindsight verdict for
+	// every committed migration. Results land in Result.Fidelity
+	// (omitted when disabled so fidelity-off JSON is unchanged), the
+	// mtm_fidelity_* metrics family, and outcome span events. The oracle
+	// charges no virtual time and is byte-identical at every Parallelism.
+	Fidelity bool
+	// FidelityHorizon is the outcome-resolution window in intervals for
+	// migration lineage; 0 selects sim.DefaultFidelityHorizon. Only
+	// meaningful with Fidelity set — Validate rejects it otherwise.
+	FidelityHorizon int
 }
 
 // DefaultScale mirrors workload.DefaultScale.
@@ -184,6 +197,12 @@ func (c Config) Validate() error {
 	if r.Parallelism < 0 {
 		return fmt.Errorf("mtm: negative Parallelism %d (0 means GOMAXPROCS)", r.Parallelism)
 	}
+	if r.FidelityHorizon < 0 {
+		return fmt.Errorf("mtm: negative FidelityHorizon %d (0 means the default of %d intervals)", r.FidelityHorizon, sim.DefaultFidelityHorizon)
+	}
+	if r.FidelityHorizon > 0 && !r.Fidelity {
+		return fmt.Errorf("mtm: FidelityHorizon set without Fidelity (enable the oracle or drop the horizon)")
+	}
 	return nil
 }
 
@@ -231,6 +250,11 @@ func NewEngine(c Config) *sim.Engine {
 		// Also after Interval is set: budgets refill per profiling
 		// interval and the thrash cool-down defaults to twice of it.
 		e.EnableAdmission(*c.Admission)
+	}
+	if c.Fidelity {
+		// Last, after EnableMetrics/EnableSpans, so the oracle's
+		// instruments and outcome events register with them.
+		e.EnableFidelity(sim.FidelityConfig{Horizon: c.FidelityHorizon})
 	}
 	return e
 }

@@ -87,6 +87,18 @@ func TestParallelDeterminismMatrix(t *testing.T) {
 		af.Faults = "cxl-flaky"
 		af.Audit = true
 		t.Run("pingpong/mtm/admission/cxl-flaky", func(t *testing.T) { runPair(t, af, "pingpong", "mtm") })
+		// Fidelity-enabled variants: the oracle's truth plane, estimate
+		// marking, lag bookkeeping and outcome lineage all run in sharded
+		// phases merged on the serialized loop, so the Fidelity block must
+		// be byte-identical at every worker count too (see also
+		// TestParallelDeterminismFidelity for the 1/2/8 sweep).
+		fc := cfg
+		fc.Fidelity = true
+		t.Run("pingpong/mtm/fidelity", func(t *testing.T) { runPair(t, fc, "pingpong", "mtm") })
+		ff := fc
+		ff.Faults = "cxl-flaky"
+		ff.Audit = true
+		t.Run("pingpong/mtm/fidelity/cxl-flaky", func(t *testing.T) { runPair(t, ff, "pingpong", "mtm") })
 		return
 	}
 	for _, wl := range WorkloadNames() {
@@ -124,6 +136,24 @@ func TestParallelDeterminismMatrix(t *testing.T) {
 		t.Run("pingpong/"+sol+"/admission/cxl-flaky", func(t *testing.T) {
 			t.Parallel()
 			runPair(t, af, "pingpong", sol)
+		})
+	}
+	// Fidelity-enabled sweep: the oracle grades every solution (profiler
+	// fidelity where the solution exposes regions, lineage everywhere),
+	// with and without a flaky tier aborting moves mid-lineage.
+	for _, sol := range SolutionNames() {
+		fc := cfg
+		fc.Fidelity = true
+		t.Run("pingpong/"+sol+"/fidelity", func(t *testing.T) {
+			t.Parallel()
+			runPair(t, fc, "pingpong", sol)
+		})
+		ff := fc
+		ff.Faults = "cxl-flaky"
+		ff.Audit = true
+		t.Run("pingpong/"+sol+"/fidelity/cxl-flaky", func(t *testing.T) {
+			t.Parallel()
+			runPair(t, ff, "pingpong", sol)
 		})
 	}
 }
@@ -294,4 +324,62 @@ func TestParallelDeterminismHealthSpans(t *testing.T) {
 	cfg.Faults = "dimm-death"
 	cfg.Audit = true
 	runSpanSet(t, cfg, "gups", "mtm")
+}
+
+// fidelityJSON runs one fidelity-enabled configuration and returns the
+// marshaled Fidelity block.
+func fidelityJSON(t *testing.T, cfg Config, wl, sol string) []byte {
+	t.Helper()
+	res, err := Run(cfg, wl, sol)
+	if err != nil {
+		t.Fatalf("run (parallel %d): %v", cfg.Parallelism, err)
+	}
+	if res.Fidelity == nil {
+		t.Fatal("fidelity-enabled run produced no Fidelity block")
+	}
+	b, err := json.Marshal(res.Fidelity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestParallelDeterminismFidelity pins the oracle's determinism contract
+// at parallelism 1, 2 and 8: the truth plane is accumulated per shard and
+// merged in shard order, the hot-set cutoff is a pure function of the
+// merged histogram, and the lineage ledger fills in serialized commit
+// order — so the whole Fidelity block (accuracy means, lag tallies,
+// heatmap rows, per-rule outcome lineage) must be byte-identical at every
+// worker count, including under fault injection, and the outcome span
+// events ride the same guarantee (the span stream is compared too).
+func TestParallelDeterminismFidelity(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 512
+	cfg.OpsFactor = 0.25
+	cfg.Fidelity = true
+	cfg.Admission = &admission.Config{}
+	variants := []struct{ name, faults string }{
+		{"plain", ""},
+		{"cxl-flaky", "cxl-flaky"},
+	}
+	for _, v := range variants {
+		vc := cfg
+		vc.Faults = v.faults
+		vc.Audit = v.faults != ""
+		t.Run("pingpong/mtm/"+v.name, func(t *testing.T) {
+			c := vc
+			c.Parallelism = 1
+			base := fidelityJSON(t, c, "pingpong", "mtm")
+			for _, p := range []int{2, 8} {
+				cp := vc
+				cp.Parallelism = p
+				if got := fidelityJSON(t, cp, "pingpong", "mtm"); !bytes.Equal(base, got) {
+					t.Errorf("Fidelity block diverged at parallelism %d:\np1: %s\np%d: %s", p, base, p, got)
+				}
+			}
+		})
+		t.Run("pingpong/mtm/"+v.name+"/spans", func(t *testing.T) {
+			runSpanSet(t, vc, "pingpong", "mtm")
+		})
+	}
 }
