@@ -113,6 +113,41 @@ func TestAdmissionJSONOmitsCountersWhenDisabled(t *testing.T) {
 	}
 }
 
+// TestAdmissionLanesJSONOmittedWhenOff asserts the per-traffic-class
+// counters only appear in Result JSON when lanes are enabled, so every
+// lanes-off run — including plain -admission — serializes byte-identically
+// to a build without the lane machinery.
+func TestAdmissionLanesJSONOmittedWhenOff(t *testing.T) {
+	cfg := thrashCfg()
+	cfg.OpsFactor = 0.1
+	cfg.Admission = &admission.Config{}
+	res, err := Run(cfg, "pingpong", "mtm")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(b, []byte("AdmissionLanes")) {
+		t.Errorf("lanes-off Result JSON leaks the AdmissionLanes block: %s", b)
+	}
+
+	cfg.AdmissionLanes = "default"
+	if res, err = Run(cfg, "pingpong", "mtm"); err != nil {
+		t.Fatalf("lanes run: %v", err)
+	}
+	if b, err = json.Marshal(res); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b, []byte("AdmissionLanes")) {
+		t.Errorf("lanes-on Result JSON lacks the AdmissionLanes block: %s", b)
+	}
+	if res.AdmissionLanes == nil || res.AdmissionLanes.Normal.Requests == 0 {
+		t.Errorf("lanes-on run recorded no normal-class requests: %+v", res.AdmissionLanes)
+	}
+}
+
 // TestAdmissionSpanProvenance asserts every admission decision leaves a
 // span trail with its ROI evidence: the admitted rule, at least one
 // refusal rule, and the roi/allowed_bytes/budget_bytes attributes that

@@ -22,7 +22,10 @@
 // ASCII row is annotated with the migration outcomes resolved that
 // interval: +N moves judged good (promoted-and-reaccessed,
 // demoted-correct, flip-resurrected), -N judged bad (promoted-wasted,
-// demoted-and-refaulted).
+// demoted-and-refaulted). Intervals where the admission layer's
+// starvation watchdog fired (an -admission-lanes run whose critical
+// drain/emergency traffic waited too long) are flagged with
+// !starved(class).
 package main
 
 import (
@@ -46,9 +49,12 @@ func main() {
 const shades = " .:-=+*#%@"
 
 // outcomeTally is the per-interval good/bad migration verdict count
-// parsed from span outcome events.
+// parsed from span outcome events, plus the traffic classes whose
+// starvation watchdog fired that interval (lane-starvation events from
+// an -admission-lanes run).
 type outcomeTally struct {
 	good, bad int
+	starved   []string
 }
 
 // run is the testable CLI body: flags in, report out, exit code returned.
@@ -129,8 +135,10 @@ func readOutcomes(path string) (map[int]outcomeTally, error) {
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	for sc.Scan() {
-		line := sc.Bytes()
-		if !strings.Contains(string(line), `"name":"outcome"`) {
+		line := string(sc.Bytes())
+		isOutcome := strings.Contains(line, `"name":"outcome"`)
+		isStarved := strings.Contains(line, `"name":"lane-starvation"`)
+		if !isOutcome && !isStarved {
 			continue
 		}
 		var ev struct {
@@ -139,19 +147,27 @@ func readOutcomes(path string) (map[int]outcomeTally, error) {
 			Name     string `json:"name"`
 			Attrs    struct {
 				Verdict string `json:"verdict"`
+				Class   string `json:"class"`
 			} `json:"attrs"`
 		}
-		if json.Unmarshal(line, &ev) != nil || ev.Cat != "migration" || ev.Name != "outcome" {
+		if json.Unmarshal([]byte(line), &ev) != nil {
 			continue
 		}
-		t := out[ev.Interval]
-		switch ev.Attrs.Verdict {
-		case "promoted-and-reaccessed", "demoted-correct", "flip-resurrected":
-			t.good++
-		default:
-			t.bad++
+		switch {
+		case ev.Cat == "migration" && ev.Name == "outcome":
+			t := out[ev.Interval]
+			switch ev.Attrs.Verdict {
+			case "promoted-and-reaccessed", "demoted-correct", "flip-resurrected":
+				t.good++
+			default:
+				t.bad++
+			}
+			out[ev.Interval] = t
+		case ev.Cat == "admission" && ev.Name == "lane-starvation":
+			t := out[ev.Interval]
+			t.starved = append(t.starved, ev.Attrs.Class)
+			out[ev.Interval] = t
 		}
-		out[ev.Interval] = t
 	}
 	return out, sc.Err()
 }
@@ -220,7 +236,12 @@ func writeASCII(w io.Writer, res *mtm.Result, outcomes map[int]outcomeTally) {
 		line.WriteString("  ")
 		shadeRow(&line, r.Est[:hm.Cols], max)
 		if t, ok := outcomes[r.Interval]; ok {
-			fmt.Fprintf(&line, "  +%d -%d", t.good, t.bad)
+			if t.good+t.bad > 0 {
+				fmt.Fprintf(&line, "  +%d -%d", t.good, t.bad)
+			}
+			for _, cl := range t.starved {
+				fmt.Fprintf(&line, "  !starved(%s)", cl)
+			}
 		}
 		fmt.Fprintln(w, line.String())
 	}

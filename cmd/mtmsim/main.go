@@ -9,6 +9,7 @@
 //	mtmsim -workload gups -solution mtm -faults ebusy-storm
 //	mtmsim -workload gups -solution mtm -faults dimm-death -health -audit
 //	mtmsim -workload pingpong -solution mtm -admission
+//	mtmsim -workload pingpong -solution mtm -admission-learn -admission-lanes default
 //	mtmsim -workload pingpong -solution nomad -budget-mb 6400 -audit
 //	mtmsim -workload gups -solution mtm -parallel 4 -json
 //	mtmsim -workload gups -solution mtm -metrics out.prom -metrics-format prom
@@ -32,6 +33,16 @@
 // passes an ROI gate, a per-tier-pair bandwidth budget, and a ping-pong
 // cool-down; refusals appear in the report's "admission:" line and, with
 // -spans, as per-decision provenance (see cmd/spanreport -explain).
+//
+// -admission-learn turns the static ROI floor into an online-learned
+// per-tier-pair floor driven by hindsight verdicts (promoted-and-
+// reaccessed vs promoted-wasted); the floor at each decision rides in the
+// span provenance and the mtm_admission_minroi gauges. -admission-lanes
+// splits traffic into normal/drain/emergency classes with a reserved
+// bandwidth slice for the critical lanes, demand-scaled budget refill,
+// background-traffic charging, and a starvation watchdog ("default" and
+// "strict" presets; kebab-case overrides like strict,reserve-frac=0.4).
+// Both imply -admission.
 //
 // -metrics enables the observability layer and writes its export to the
 // given file; -metrics-format selects JSON (default) or Prometheus text
@@ -88,6 +99,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		faults    = fs.String("faults", "none", "fault-injection scenario")
 		budgetMB  = fs.Int64("budget-mb", 0, "per-interval migration budget in MB at full machine scale, divided by -scale like every capacity (0 = the default 800)")
 		admit     = fs.Bool("admission", false, "enable migration admission control (ROI gate, bandwidth budgets, thrash suppression)")
+		admLearn  = fs.Bool("admission-learn", false, "enable online MinROI learning on the admission layer (implies -admission)")
+		admLanes  = fs.String("admission-lanes", "", "traffic-class lane config: preset name with kebab-case overrides, e.g. default or strict,reserve-frac=0.4 (implies -admission)")
 		healthOn  = fs.Bool("health", false, "enable the tier-health subsystem (auto-enabled by mem-error/tier-fail scenarios)")
 		audit     = fs.Bool("audit", false, "cross-check residency/capacity/migration ledgers after the run")
 		parallel  = fs.Int("parallel", 0, "worker count for sharded phases (0 = GOMAXPROCS)")
@@ -176,6 +189,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *admit {
 		cfg.Admission = &admission.Config{}
 	}
+	cfg.AdmissionLearn = *admLearn
+	cfg.AdmissionLanes = *admLanes
+	if *admLanes != "" && !admission.ValidLanes(*admLanes) {
+		fmt.Fprintf(stderr, "mtmsim: invalid -admission-lanes %q (presets: %v; overrides like reserve-frac=0.4)\n", *admLanes, admission.LanePresets())
+		return 2
+	}
 	cfg.Fidelity = *fidelity
 	cfg.FidelityHorizon = *fidHrz
 
@@ -245,6 +264,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if res.AdmissionAdmits+res.AdmissionDefers+res.AdmissionRejects+res.ThrashSuppressed > 0 {
 		fmt.Fprintf(stdout, "admission:  admitted=%d deferred=%d rejected=%d thrash-suppressed=%d\n",
 			res.AdmissionAdmits, res.AdmissionDefers, res.AdmissionRejects, res.ThrashSuppressed)
+	}
+	if l := res.AdmissionLanes; l != nil {
+		fmt.Fprintf(stdout, "lanes:      normal=%d/%d drain=%d/%d emergency=%d/%d starvations=%d\n",
+			l.Normal.Admits, l.Normal.Requests, l.Drain.Admits, l.Drain.Requests,
+			l.Emergency.Admits, l.Emergency.Requests, l.Starvations)
 	}
 	if res.PoisonedPages+res.PoisonRecoveries+res.DrainedBytes+res.BreakerTrips+res.DrainStalls > 0 {
 		fmt.Fprintf(stdout, "health:     poisoned=%d recoveries=%d drained=%dKB breaker-trips=%d drain-stalls=%d\n",

@@ -16,7 +16,10 @@
 // the estimated ROI, the rule that fired ("roi-admitted",
 // "roi-below-min", "victim-too-hot", "budget-exhausted", "low-roi-shed"),
 // and the pair's remaining budget — the full answer to "why was this
-// move refused". Decisions vetoed by tier health carry their evidence
+// move refused". On -admission-learn runs each admission-gated decision
+// also carries the online-learned ROI floor it was held against
+// (rendered as floor=…), so the floor trajectory is readable straight
+// off the decision log. Decisions vetoed by tier health carry their evidence
 // inline: a skip under rule "breaker-open" names the breaker state, the
 // consecutive aborts that tripped it, when the cool-down ends, and the
 // pair's lifetime trip count; a skip under "tier-unavailable" names the
@@ -117,6 +120,11 @@ type decision struct {
 	HasROI       bool
 	AllowedBytes int64
 	BudgetBytes  int64
+	// Floor is the effective promotion ROI floor at decision time —
+	// online-learned when the run had -admission-learn, static otherwise.
+	// Only emitted on learn-enabled runs.
+	Floor    float64
+	HasFloor bool
 	// Breaker evidence, present on "breaker-open" skips.
 	Breaker          string
 	BreakerAborts    int64
@@ -224,6 +232,11 @@ func analyze(r io.Reader) (*report, error) {
 					d.BudgetBytes = attrInt(l.Attrs, "budget_bytes")
 				}
 			}
+			if v, ok := l.Attrs["floor"]; ok {
+				if f, ok := v.(float64); ok {
+					d.Floor, d.HasFloor = f, true
+				}
+			}
 			if d.Rule == "breaker-open" {
 				d.Breaker = attrString(l.Attrs, "breaker")
 				d.BreakerAborts = attrInt(l.Attrs, "consecutive_aborts")
@@ -326,6 +339,10 @@ func (rep *report) write(w io.Writer, explain bool) {
 			// much of the request the pair's budget could carry.
 			fmt.Fprintf(w, " roi=%.4g allowed=%d budget=%d",
 				d.ROI, d.AllowedBytes, d.BudgetBytes)
+		}
+		if d.HasFloor {
+			// The learned ROI floor the promotion was held against.
+			fmt.Fprintf(w, " floor=%.4g", d.Floor)
 		}
 		if d.Breaker != "" {
 			// Breaker evidence: why the pair was vetoed and until when.

@@ -35,7 +35,10 @@
 // methods are called from the serialized interval loop.
 package admission
 
-import "time"
+import (
+	"fmt"
+	"time"
+)
 
 // Verdict is the outcome of an admission check.
 type Verdict uint8
@@ -61,6 +64,37 @@ func (v Verdict) String() string {
 		return "defer"
 	default:
 		return "reject"
+	}
+}
+
+// Class is the traffic class of a planned move. Admission prices the
+// three classes differently: normal migrations pass every gate,
+// health-drain evacuation skips the ROI gates and may spend into the
+// reserved bandwidth slice, and emergency demotion (the OOM path) is
+// never refused — an engine that can refuse the move that prevents an
+// OOM has its priorities inverted.
+type Class uint8
+
+const (
+	// ClassNormal is policy-driven migration traffic.
+	ClassNormal Class = iota
+	// ClassDrain is health-drain evacuation off a dying tier.
+	ClassDrain
+	// ClassEmergency is emergency demotion making room under OOM.
+	ClassEmergency
+	// NumClasses counts the traffic classes.
+	NumClasses = 3
+)
+
+// String returns the lower-case class name used in provenance.
+func (c Class) String() string {
+	switch c {
+	case ClassDrain:
+		return "drain"
+	case ClassEmergency:
+		return "emergency"
+	default:
+		return "normal"
 	}
 }
 
@@ -156,6 +190,30 @@ type Config struct {
 	// direction. Zero lets the engine default it to two intervals.
 	// Negative disables thrash suppression.
 	CoolDown time.Duration
+	// Learn enables online per-pair MinROI floors: each pair's
+	// promotion floor is adjusted at interval end from realized
+	// hindsight verdicts (NoteOutcome) instead of staying at the static
+	// MinROI. The static MinROI seeds every floor.
+	Learn bool
+	// LearnStep bounds one interval's floor adjustment: the floor is
+	// multiplied by (1 ± LearnStep). Default 0.25.
+	LearnStep float64
+	// EvidenceFloor is the minimum number of resolved verdicts a pair
+	// must accumulate before its floor adapts; below it the floor
+	// freezes (evidence carries over, it is not discarded). Default 4.
+	EvidenceFloor int
+	// TargetWaste is the tolerated promoted-wasted share of resolved
+	// verdicts: above it the floor rises, at or below it the floor
+	// falls back toward admitting more. Default 0.25.
+	TargetWaste float64
+	// LearnMin / LearnMax clamp the learned floor. Defaults MinROI/4
+	// and MinROI*64.
+	LearnMin float64
+	LearnMax float64
+	// Lanes configures traffic-class priority lanes (see LaneConfig).
+	// The zero value disables lanes: drain and emergency traffic then
+	// bypass admission entirely, as before.
+	Lanes LaneConfig
 }
 
 // WithDefaults fills zero fields with the documented defaults.
@@ -194,7 +252,44 @@ func (c Config) WithDefaults() Config {
 	} else if c.WasteCutoff < 0 {
 		c.WasteCutoff = 2 // a ratio can never exceed 1: disabled
 	}
+	if c.LearnStep == 0 {
+		c.LearnStep = 0.25
+	}
+	if c.EvidenceFloor == 0 {
+		c.EvidenceFloor = 4
+	}
+	if c.TargetWaste == 0 {
+		c.TargetWaste = 0.25
+	}
+	if c.LearnMin == 0 {
+		c.LearnMin = c.MinROI / 4
+	}
+	if c.LearnMax == 0 {
+		c.LearnMax = c.MinROI * 64
+	}
+	c.Lanes = c.Lanes.WithDefaults()
 	return c
+}
+
+// Validate bounds-checks the learner and lane knobs on a raw
+// (pre-defaults) config. Zero values are valid — they select defaults.
+func (c Config) Validate() error {
+	if c.LearnStep < 0 || c.LearnStep >= 1 {
+		return fmt.Errorf("admission: learn-step %v outside [0, 1)", c.LearnStep)
+	}
+	if c.EvidenceFloor < 0 {
+		return fmt.Errorf("admission: evidence-floor %d negative", c.EvidenceFloor)
+	}
+	if c.TargetWaste < 0 || c.TargetWaste >= 1 {
+		return fmt.Errorf("admission: target-waste %v outside [0, 1)", c.TargetWaste)
+	}
+	if c.LearnMin < 0 || c.LearnMax < 0 {
+		return fmt.Errorf("admission: learn floor clamps must be non-negative")
+	}
+	if c.LearnMin > 0 && c.LearnMax > 0 && c.LearnMin > c.LearnMax {
+		return fmt.Errorf("admission: learn-min %v exceeds learn-max %v", c.LearnMin, c.LearnMax)
+	}
+	return c.Lanes.Validate()
 }
 
 // ROI estimates the return on investment of moving one page: the stall
@@ -227,6 +322,10 @@ type Decision struct {
 	// BudgetBytes is the pair's token balance after refill, before any
 	// debit; negative means the pair is in debt from waste penalties.
 	BudgetBytes int64
+	// Floor is the effective promotion floor the decision was priced
+	// against: the static MinROI, or the pair's learned floor when
+	// online learning is active. Zero for demotions.
+	Floor float64
 }
 
 // bucket is one tier pair's token-bucket state plus its waste ledger.
@@ -239,6 +338,15 @@ type bucket struct {
 	wasted int64 // aborted bytes through this pair (window-decayed)
 	winNs  int64 // waste-ledger decay window (one burst's worth of refill)
 	winAt  int64 // virtual time the current decay window started
+	// Demand scaling (lanes mode): intBytes accumulates every byte
+	// charged through the pair this interval — committed, wasted, and
+	// background (shadow sync, profiling); ema smooths it. statRate and
+	// statBurst keep the rated values SetRate installed, the ceiling
+	// demand scaling may never exceed.
+	intBytes  int64
+	ema       int64
+	statRate  int64
+	statBurst int64
 }
 
 // refill credits tokens for the virtual time elapsed since the last
@@ -299,6 +407,44 @@ type Controller struct {
 	// into behaviour). coolHead is the consumed prefix.
 	coolQ    []coolEntry
 	coolHead int
+	// learn holds per-pair learned floors and their evidence tallies
+	// (src*n + dst, like pairs); nil unless Config.Learn.
+	learn []learner
+	// cls tracks per-traffic-class admission activity for the lane
+	// watchdog and the per-class Result breakdowns.
+	cls [NumClasses]ClassStat
+	// intervalNs is the engine's interval length (SetInterval), needed
+	// to convert observed per-interval demand into a refill rate.
+	intervalNs int64
+}
+
+// learner is one pair's online MinROI state: the current floor plus the
+// decaying hindsight evidence it adapts on. good counts promoted pages
+// later reaccessed, bad counts promoted-wasted ones.
+type learner struct {
+	floor     float64
+	good, bad float64
+}
+
+// ClassStat tracks one traffic class's admission activity: per-interval
+// tallies for the starvation watchdog, and lifetime totals exported in
+// Result.
+type ClassStat struct {
+	reqs, admits  int64 // this interval (watchdog inputs)
+	waitIntervals int   // consecutive fully-refused intervals
+
+	Requests    int64 // lifetime admission checks
+	Admits      int64
+	Defers      int64
+	Bytes       int64 // lifetime admitted bytes
+	Starvations int64 // watchdog firings
+}
+
+// Starvation reports one starvation-watchdog firing: a critical traffic
+// class went Waited consecutive intervals with requests but no admits.
+type Starvation struct {
+	Class  Class
+	Waited int
 }
 
 // coolEntry is one queued cool-down stamp. A page re-stamped later has a
@@ -313,12 +459,19 @@ type coolEntry struct {
 // NewController builds a controller for n nodes. Pair budgets start
 // unbounded (rate 0, no enforcement) until SetRate is called.
 func NewController(cfg Config, n int) *Controller {
-	return &Controller{
+	c := &Controller{
 		cfg:   cfg.WithDefaults(),
 		pairs: make([]bucket, n*n),
 		n:     n,
 		cool:  make(map[uint64]cooldown),
 	}
+	if c.cfg.Learn {
+		c.learn = make([]learner, n*n)
+		for i := range c.learn {
+			c.learn[i].floor = c.cfg.MinROI
+		}
+	}
+	return c
 }
 
 // Config returns the controller's effective (defaulted) configuration.
@@ -342,10 +495,17 @@ func (c *Controller) SetRate(src, dst int, bytesPerSec, burst int64) {
 	b.rate = bytesPerSec
 	b.burst = burst
 	b.tokens = burst
+	b.statRate = bytesPerSec
+	b.statBurst = burst
 	if bytesPerSec > 0 {
 		b.winNs = burst * int64(time.Second) / bytesPerSec
 	}
 }
+
+// SetInterval tells the controller the engine's interval length in
+// virtual nanoseconds; demand-scaled refill needs it to convert
+// observed per-interval volume into a rate.
+func (c *Controller) SetInterval(ns int64) { c.intervalNs = ns }
 
 // Tokens reports a pair's balance after refilling to nowNs.
 func (c *Controller) Tokens(src, dst int, nowNs int64) int64 {
@@ -368,57 +528,99 @@ func (c *Controller) WasteRatio(src, dst int) float64 {
 
 // Admit prices one planned move of up to bytes from src to dst and
 // returns the verdict with full evidence. pageSize aligns the granted
-// allowance; roi is the caller's estimate (see ROI).
+// allowance; roi is the caller's estimate (see ROI). Equivalent to
+// AdmitClass with ClassNormal.
 func (c *Controller) Admit(src, dst int, dir Direction, roi float64, bytes, pageSize, nowNs int64) Decision {
+	return c.AdmitClass(ClassNormal, src, dst, dir, roi, bytes, pageSize, nowNs)
+}
+
+// AdmitClass prices one planned move in the given traffic class.
+// Normal traffic passes every gate against the pair's effective floor
+// (learned when Learn is on). Drain traffic skips the ROI gates and
+// waste shedding — evacuating a dying tier is not optional — and may
+// draw on the reserved bandwidth slice on top of the pair's tokens.
+// Emergency traffic is admitted unconditionally: refusing the demotion
+// that prevents an OOM is never the right trade.
+func (c *Controller) AdmitClass(cl Class, src, dst int, dir Direction, roi float64, bytes, pageSize, nowNs int64) Decision {
 	d := Decision{ROI: roi}
+	s := &c.cls[cl]
+	s.reqs++
+	s.Requests++
 	b := c.pair(src, dst)
-	if b == nil || bytes <= 0 {
+	if b == nil || bytes <= 0 || cl == ClassEmergency {
+		if b != nil {
+			b.refill(nowNs)
+			d.BudgetBytes = b.tokens
+		}
 		d.Verdict, d.Rule, d.AllowedBytes = VerdictAdmit, RuleAdmitted, bytes
+		s.admits++
+		s.Admits++
+		s.Bytes += bytes
 		return d
 	}
 	b.refill(nowNs)
 	d.BudgetBytes = b.tokens
-	if dir == DirDemote {
-		if c.cfg.MaxVictimROI > 0 && roi > c.cfg.MaxVictimROI {
-			d.Verdict, d.Rule, d.Threshold = VerdictReject, RuleVictimHot, c.cfg.MaxVictimROI
-			return d
+	if cl == ClassNormal {
+		if dir == DirDemote {
+			if c.cfg.MaxVictimROI > 0 && roi > c.cfg.MaxVictimROI {
+				d.Verdict, d.Rule, d.Threshold = VerdictReject, RuleVictimHot, c.cfg.MaxVictimROI
+				return d
+			}
+		} else {
+			floor := c.cfg.MinROI
+			if c.learn != nil {
+				floor = c.learn[src*c.n+dst].floor
+			}
+			d.Floor = floor
+			if roi < floor {
+				d.Verdict, d.Rule, d.Threshold = VerdictReject, RuleLowROI, floor
+				return d
+			}
+			// Budget pressure: below the low-water mark only clearly
+			// profitable promotions spend what's left; marginal ones wait.
+			if low := int64(c.cfg.LowWaterFrac * float64(b.burst)); b.tokens < low {
+				if need := floor * c.cfg.PressureFactor; roi < need {
+					d.Verdict, d.Rule, d.Threshold = VerdictDefer, RuleShed, need
+					s.Defers++
+					return d
+				}
+			}
 		}
-	} else {
-		if roi < c.cfg.MinROI {
-			d.Verdict, d.Rule, d.Threshold = VerdictReject, RuleLowROI, c.cfg.MinROI
-			return d
-		}
-		// Budget pressure: below the low-water mark only clearly
-		// profitable promotions spend what's left; marginal ones wait.
-		if low := int64(c.cfg.LowWaterFrac * float64(b.burst)); b.tokens < low {
-			if need := c.cfg.MinROI * c.cfg.PressureFactor; roi < need {
-				d.Verdict, d.Rule, d.Threshold = VerdictDefer, RuleShed, need
+		// Waste shedding: a pair whose recent attempts mostly aborted stops
+		// accepting moves until the ledger decays. The wasted ≥ pageSize
+		// guard is the half-open probe — once decay brings the ledger under
+		// one page, a single move is admitted to test the pair.
+		if w := b.moved + b.wasted; w > 0 && (pageSize <= 0 || b.wasted >= pageSize) {
+			if ratio := float64(b.wasted) / float64(w); ratio >= c.cfg.WasteCutoff {
+				d.Verdict, d.Rule, d.Threshold = VerdictDefer, RuleWaste, c.cfg.WasteCutoff
+				s.Defers++
 				return d
 			}
 		}
 	}
-	// Waste shedding: a pair whose recent attempts mostly aborted stops
-	// accepting moves until the ledger decays. The wasted ≥ pageSize
-	// guard is the half-open probe — once decay brings the ledger under
-	// one page, a single move is admitted to test the pair.
-	if w := b.moved + b.wasted; w > 0 && (pageSize <= 0 || b.wasted >= pageSize) {
-		if ratio := float64(b.wasted) / float64(w); ratio >= c.cfg.WasteCutoff {
-			d.Verdict, d.Rule, d.Threshold = VerdictDefer, RuleWaste, c.cfg.WasteCutoff
-			return d
-		}
+	avail := b.tokens
+	if cl == ClassDrain && c.cfg.Lanes.Enabled {
+		// The reserve: a slice of the rated burst only critical lanes may
+		// spend, sized so drain always makes progress even when normal
+		// traffic has drained the bucket (or driven it into debt).
+		avail += int64(c.cfg.Lanes.ReserveFrac * float64(b.statBurst))
 	}
 	allowed := bytes
-	if b.rate > 0 && b.tokens < allowed {
-		allowed = b.tokens
+	if b.rate > 0 && avail < allowed {
+		allowed = avail
 	}
 	if pageSize > 0 {
 		allowed -= allowed % pageSize
 	}
 	if allowed <= 0 || (pageSize > 0 && allowed < pageSize) {
 		d.Verdict, d.Rule = VerdictDefer, RuleBudget
+		s.Defers++
 		return d
 	}
 	d.Verdict, d.Rule, d.AllowedBytes = VerdictAdmit, RuleAdmitted, allowed
+	s.admits++
+	s.Admits++
+	s.Bytes += allowed
 	return d
 }
 
@@ -431,6 +633,7 @@ func (c *Controller) Commit(src, dst int, bytes, nowNs int64) {
 	b.refill(nowNs)
 	b.debit(bytes)
 	b.moved += bytes
+	b.intBytes += bytes
 }
 
 // Waste debits an aborted move's bytes at the waste-penalty multiple:
@@ -443,6 +646,35 @@ func (c *Controller) Waste(src, dst int, bytes, nowNs int64) {
 	b.refill(nowNs)
 	b.debit(bytes + int64(c.cfg.WastePenalty*float64(bytes)))
 	b.wasted += bytes
+	b.intBytes += bytes
+}
+
+// Charge debits background traffic — shadow sync, profiling — against
+// the pair's bucket without touching the waste ledger (background bytes
+// are neither committed migrations nor aborts, and must not dilute the
+// waste ratio). This is what makes the budget bind: every byte the pair
+// moves for any reason competes for the same tokens.
+func (c *Controller) Charge(src, dst int, bytes, nowNs int64) {
+	b := c.pair(src, dst)
+	if b == nil || bytes <= 0 {
+		return
+	}
+	b.refill(nowNs)
+	b.debit(bytes)
+	b.intBytes += bytes
+}
+
+// ResetWasteWindow clears a pair's waste ledger and restarts its decay
+// window at nowNs — the breaker half-open hook: the open period froze
+// the ledger (no refill calls, no decay), so the pre-trip aborts would
+// otherwise re-shed the recovering pair the moment it is probed.
+func (c *Controller) ResetWasteWindow(src, dst int, nowNs int64) {
+	b := c.pair(src, dst)
+	if b == nil {
+		return
+	}
+	b.moved, b.wasted = 0, 0
+	b.winAt = nowNs
 }
 
 // ZeroBudget empties a pair's bucket and restarts its refill clock at
@@ -517,3 +749,141 @@ func (c *Controller) Prune(nowNs int64) int {
 
 // CoolSize reports the live cool-down map size (tests and telemetry).
 func (c *Controller) CoolSize() int { return len(c.cool) }
+
+// NoteOutcome feeds one resolved hindsight verdict for a promotion
+// through the pair into the online learner: reaccessed means the
+// promoted page was touched again before the horizon (the move paid),
+// otherwise it was promoted-wasted. No-op unless Learn is on.
+func (c *Controller) NoteOutcome(src, dst int, reaccessed bool) {
+	if c.learn == nil || src < 0 || dst < 0 || src >= c.n || dst >= c.n || src == dst {
+		return
+	}
+	l := &c.learn[src*c.n+dst]
+	if reaccessed {
+		l.good++
+	} else {
+		l.bad++
+	}
+}
+
+// MinROIFor reports the pair's effective promotion floor: the learned
+// floor when Learn is on, the static MinROI otherwise.
+func (c *Controller) MinROIFor(src, dst int) float64 {
+	if c.learn == nil {
+		return c.cfg.MinROI
+	}
+	if src < 0 || dst < 0 || src >= c.n || dst >= c.n || src == dst {
+		return c.cfg.MinROI
+	}
+	return c.learn[src*c.n+dst].floor
+}
+
+// ClassStats returns one traffic class's lifetime admission counters.
+func (c *Controller) ClassStats(cl Class) ClassStat {
+	if int(cl) >= NumClasses {
+		return ClassStat{}
+	}
+	return c.cls[cl]
+}
+
+// EndInterval runs the controller's once-per-interval work on the
+// serialized loop and returns any starvation-watchdog firings:
+//
+//   - Demand-scaled refill (lanes mode): each pair's refill rate for
+//     the next interval tracks an EMA of its observed traffic, clamped
+//     to [statRate/64, statRate]. At simulation scale the rated link
+//     bandwidth dwarfs actual migration volume, so a statically-rated
+//     bucket never empties and the budget never binds; scaling the
+//     refill to DemandMult× observed volume makes headroom scarce
+//     enough that the low-water, budget, and reserve mechanisms engage.
+//   - Learner adaptation: each pair with at least EvidenceFloor
+//     resolved verdicts moves its floor one bounded multiplicative step
+//     — up when the promoted-wasted share exceeds TargetWaste, down
+//     otherwise — then halves its evidence so old verdicts fade.
+//     Below the evidence floor the tallies accumulate untouched: the
+//     floor freezes rather than wandering on noise.
+//   - Starvation watchdog (lanes mode): a critical class (drain,
+//     emergency) that saw requests but zero admits for more than
+//     WatchdogIntervals consecutive intervals yields a Starvation
+//     record; the caller turns it into a typed event and metric.
+//
+// Pure function of controller state and nowNs — fixed iteration order,
+// no maps, no clock — so it preserves bit-identical parallelism.
+func (c *Controller) EndInterval(nowNs int64) []Starvation {
+	if c.cfg.Lanes.Enabled && c.intervalNs > 0 {
+		for i := range c.pairs {
+			b := &c.pairs[i]
+			if b.statRate <= 0 {
+				continue
+			}
+			b.refill(nowNs) // settle the elapsed interval at the old rate
+			if b.ema == 0 && b.intBytes > 0 {
+				b.ema = b.intBytes
+			} else {
+				b.ema += (b.intBytes - b.ema) / 8
+			}
+			b.intBytes = 0
+			rate := int64(c.cfg.Lanes.DemandMult * float64(b.ema) * 1e9 / float64(c.intervalNs))
+			if min := b.statRate / 64; rate < min {
+				rate = min
+			}
+			if rate < 1 {
+				rate = 1
+			}
+			if rate > b.statRate {
+				rate = b.statRate
+			}
+			b.rate = rate
+			b.burst = int64(float64(rate) * c.cfg.BurstIntervals * float64(c.intervalNs) / 1e9)
+			if b.burst < 1 {
+				b.burst = 1
+			}
+			if b.tokens > b.burst {
+				b.tokens = b.burst
+			}
+		}
+	}
+	if c.learn != nil {
+		for i := range c.learn {
+			l := &c.learn[i]
+			n := l.good + l.bad
+			if n < float64(c.cfg.EvidenceFloor) {
+				continue // frozen: not enough evidence to adapt on
+			}
+			if l.bad/n > c.cfg.TargetWaste {
+				l.floor *= 1 + c.cfg.LearnStep
+			} else {
+				l.floor *= 1 - c.cfg.LearnStep
+			}
+			if l.floor < c.cfg.LearnMin {
+				l.floor = c.cfg.LearnMin
+			}
+			if l.floor > c.cfg.LearnMax {
+				l.floor = c.cfg.LearnMax
+			}
+			l.good /= 2
+			l.bad /= 2
+		}
+	}
+	var fired []Starvation
+	if c.cfg.Lanes.Enabled {
+		for cl := ClassDrain; cl <= ClassEmergency; cl++ {
+			s := &c.cls[cl]
+			switch {
+			case s.reqs > 0 && s.admits == 0:
+				s.waitIntervals++
+				if s.waitIntervals > c.cfg.Lanes.WatchdogIntervals {
+					fired = append(fired, Starvation{Class: cl, Waited: s.waitIntervals})
+					s.Starvations++
+					s.waitIntervals = 0
+				}
+			case s.admits > 0:
+				s.waitIntervals = 0
+			}
+		}
+	}
+	for i := range c.cls {
+		c.cls[i].reqs, c.cls[i].admits = 0, 0
+	}
+	return fired
+}

@@ -1,0 +1,164 @@
+package admission
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// LaneConfig tunes traffic-class priority lanes. Lanes give health
+// drain and emergency demotion strict priority over normal migration
+// traffic: critical moves are priced first each decision point, a
+// reserved slice of every pair's rated burst is spendable only by the
+// drain lane, and a watchdog raises a typed event if a critical class
+// is starved for more than WatchdogIntervals consecutive intervals.
+// Enabling lanes also makes the budgets bind: background traffic
+// (shadow sync, profiling) is charged against the same buckets, and
+// each pair's refill rate is scaled to its observed traffic volume.
+type LaneConfig struct {
+	// Enabled turns the lane machinery on.
+	Enabled bool
+	// ReserveFrac is the fraction of each pair's rated burst reserved
+	// for the drain lane on top of the pair's live tokens. Default 0.25.
+	ReserveFrac float64
+	// WatchdogIntervals is how many consecutive fully-refused intervals
+	// a critical class tolerates before the starvation watchdog fires.
+	// Default 4.
+	WatchdogIntervals int
+	// DemandMult scales the demand-tracking refill: next interval's
+	// refill rate is DemandMult times the pair's smoothed observed
+	// volume (clamped to the rated budget). Default 2.
+	DemandMult float64
+}
+
+// WithDefaults fills zero fields with the documented defaults. The
+// disabled zero value passes through untouched.
+func (l LaneConfig) WithDefaults() LaneConfig {
+	if !l.Enabled {
+		return l
+	}
+	if l.ReserveFrac == 0 {
+		l.ReserveFrac = 0.25
+	}
+	if l.WatchdogIntervals == 0 {
+		l.WatchdogIntervals = 4
+	}
+	if l.DemandMult == 0 {
+		l.DemandMult = 2
+	}
+	return l
+}
+
+// Validate bounds-checks a lane config (raw or defaulted).
+func (l LaneConfig) Validate() error {
+	if l.ReserveFrac < 0 || l.ReserveFrac >= 1 {
+		return fmt.Errorf("admission: reserve-frac %v outside [0, 1)", l.ReserveFrac)
+	}
+	if l.WatchdogIntervals < 0 {
+		return fmt.Errorf("admission: watchdog-intervals %d negative", l.WatchdogIntervals)
+	}
+	if l.DemandMult < 0 {
+		return fmt.Errorf("admission: demand-mult %v negative", l.DemandMult)
+	}
+	return nil
+}
+
+// lanePresets are the named lane configurations ParseLanes accepts as a
+// base. "default" is the documented defaults; "strict" reserves half of
+// every burst for the drain lane, fires the watchdog after two starved
+// intervals, and pins the refill to exactly the observed demand.
+var lanePresets = map[string]LaneConfig{
+	"default": {Enabled: true},
+	"strict":  {Enabled: true, ReserveFrac: 0.5, WatchdogIntervals: 2, DemandMult: 1},
+}
+
+// LanePresets lists the named lane presets, sorted.
+func LanePresets() []string { return []string{"default", "strict"} }
+
+// ParseLanes resolves a lane spec into a LaneConfig. The grammar
+// mirrors the fault-scenario parser:
+//
+//	spec      = "" | "none" | name | name "," overrides | overrides
+//	overrides = key "=" value { "," key "=" value }
+//
+// where name is a preset (see LanePresets) used as the base and each
+// kebab-case key overrides one field, e.g.
+//
+//	strict,watchdog-intervals=3
+//	reserve-frac=0.4,demand-mult=1.5
+//
+// Bare overrides start from the "default" preset. "" and "none" parse
+// to the disabled zero config. Unknown names, unknown keys, malformed
+// values and out-of-range results are errors.
+func ParseLanes(spec string) (LaneConfig, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "none" {
+		return LaneConfig{}, nil
+	}
+	parts := strings.Split(spec, ",")
+	rest := parts
+	cfg := lanePresets["default"]
+	if !strings.Contains(parts[0], "=") {
+		base, ok := lanePresets[strings.TrimSpace(parts[0])]
+		if !ok {
+			return LaneConfig{}, fmt.Errorf("admission: unknown lane preset %q (have %v)", parts[0], LanePresets())
+		}
+		cfg = base
+		rest = parts[1:]
+	}
+	cfg = cfg.WithDefaults()
+	for _, kv := range rest {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return LaneConfig{}, fmt.Errorf("admission: malformed lane override %q (want key=value)", kv)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		if err := setLaneField(&cfg, key, val); err != nil {
+			return LaneConfig{}, err
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return LaneConfig{}, err
+	}
+	if cfg.WatchdogIntervals < 1 {
+		return LaneConfig{}, fmt.Errorf("admission: watchdog-intervals %d must be >= 1", cfg.WatchdogIntervals)
+	}
+	if cfg.DemandMult <= 0 {
+		return LaneConfig{}, fmt.Errorf("admission: demand-mult %v must be positive", cfg.DemandMult)
+	}
+	return cfg, nil
+}
+
+// ValidLanes reports whether spec parses.
+func ValidLanes(spec string) bool {
+	_, err := ParseLanes(spec)
+	return err == nil
+}
+
+// setLaneField applies one kebab-case key=value override to cfg.
+func setLaneField(cfg *LaneConfig, key, val string) error {
+	switch key {
+	case "reserve-frac":
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("admission: bad value %q for %s: %v", val, key, err)
+		}
+		cfg.ReserveFrac = v
+		return nil
+	case "watchdog-intervals":
+		v, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("admission: bad value %q for %s: %v", val, key, err)
+		}
+		cfg.WatchdogIntervals = v
+		return nil
+	case "demand-mult":
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("admission: bad value %q for %s: %v", val, key, err)
+		}
+		cfg.DemandMult = v
+		return nil
+	}
+	return fmt.Errorf("admission: unknown lane override key %q", key)
+}

@@ -58,16 +58,27 @@ func NewBreaker(n, tripAborts int, coolDownNs int64) *Breaker {
 // time nowNs. An open breaker whose cool-down has elapsed moves to
 // half-open and allows the (single) probe.
 func (b *Breaker) Allow(src, dst int, nowNs int64) bool {
+	ok, _ := b.AllowAt(src, dst, nowNs)
+	return ok
+}
+
+// AllowAt is Allow plus a transition report: reopened is true exactly
+// when this call moved the pair from open to half-open, the moment a
+// recovering pair re-enters service. Callers use it to reset stale
+// per-pair state accumulated before the trip (the admission waste
+// ledger froze during the open period and would otherwise re-shed the
+// pair on its first probe).
+func (b *Breaker) AllowAt(src, dst int, nowNs int64) (ok, reopened bool) {
 	c := &b.cells[src][dst]
 	switch c.state {
 	case BreakerOpen:
 		if nowNs >= c.openUntil {
 			c.state = BreakerHalfOpen
-			return true
+			return true, true
 		}
-		return false
+		return false, false
 	default:
-		return true
+		return true, false
 	}
 }
 

@@ -194,12 +194,17 @@ func admitMigration(e *sim.Engine, r *region.Region, src, dst tier.NodeID, bytes
 	}
 	dec := e.AdmitMigration(src, dst, bytes, r.V.PageSize, r.WHI, reaccessEvidence(r))
 	if e.SpansEnabled() {
-		spanDecision(e, dec.Verdict.String(), dec.Rule, r,
+		attrs := []span.Attr{
 			span.F("roi", dec.ROI),
 			span.F("threshold", dec.Threshold),
 			span.I("allowed_bytes", dec.AllowedBytes),
 			span.I("budget_bytes", dec.BudgetBytes),
-			span.S("dst", nodeName(e, dst)))
+			span.S("dst", nodeName(e, dst)),
+		}
+		if e.AdmissionLearnEnabled() && dec.Floor > 0 {
+			attrs = append(attrs, span.F("floor", dec.Floor))
+		}
+		spanDecision(e, dec.Verdict.String(), dec.Rule, r, attrs...)
 	}
 	return dec.AllowedBytes, dec.Verdict
 }

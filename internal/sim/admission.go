@@ -12,15 +12,59 @@ package sim
 
 import (
 	"mtm/internal/admission"
+	"mtm/internal/metrics"
+	"mtm/internal/span"
 	"mtm/internal/tier"
 	"mtm/internal/vm"
 )
 
+// Bytes of profiling traffic charged per sampled batch of accesses when
+// lanes make the budgets bind: roughly one PTE/PEBS record read per
+// profSampleDiv application accesses. Coarse by design — the point is
+// that profiling competes for the same pair bandwidth, not a cycle-
+// accurate model of the profiler's cache behaviour.
+const (
+	profSampleDiv   = 200
+	profSampleBytes = 16
+)
+
 // admissionState bundles the controller and its config behind one nil
-// check.
+// check, plus the adaptive-layer state (online MinROI learning,
+// binding budgets, priority lanes).
 type admissionState struct {
-	cfg admission.Config
-	ctl *admission.Controller
+	cfg   admission.Config
+	ctl   *admission.Controller
+	learn bool // online per-pair MinROI floors
+	lanes bool // traffic-class lanes + binding budgets
+
+	// Learner ledger: committed promotions awaiting their hindsight
+	// verdict, appended in commit order on the serialized path and
+	// resolved with the same rule as the fidelity oracle's lineage
+	// ledger. Kept independent of the oracle so learned floors are
+	// identical with and without -fidelity.
+	pend    []admPending
+	horizon int32
+
+	// profDst is where profiling traffic lands (the home socket's
+	// fastest node, where the kernel's scan structures live).
+	profDst tier.NodeID
+
+	// AdmissionStarvations counts watchdog firings (mirrors the typed
+	// events so tests need not parse the ring).
+	starvations int64
+
+	// minroi exposes each pair's learned floor as a gauge; nil without
+	// metrics or without learning.
+	minroi [][]*metrics.Gauge
+}
+
+// admPending is one committed promotion awaiting hindsight judgement
+// for the online MinROI learner.
+type admPending struct {
+	v        *vm.VMA
+	idx      int32
+	interval int32
+	src, dst tier.NodeID
 }
 
 // EnableAdmission attaches the migration admission-control subsystem
@@ -39,6 +83,7 @@ func (e *Engine) EnableAdmission(cfg admission.Config) {
 	}
 	nodes := e.Sys.Topo.Nodes
 	ctl := admission.NewController(cfg, len(nodes))
+	ctl.SetInterval(int64(e.Interval))
 	links := e.Sys.Topo.Links[e.HomeSocket]
 	for s := range nodes {
 		for d := range nodes {
@@ -54,7 +99,31 @@ func (e *Engine) EnableAdmission(cfg admission.Config) {
 			ctl.SetRate(s, d, rate, burst)
 		}
 	}
-	e.adm = &admissionState{cfg: cfg, ctl: ctl}
+	a := &admissionState{
+		cfg:     cfg,
+		ctl:     ctl,
+		learn:   cfg.Learn,
+		lanes:   cfg.Lanes.Enabled,
+		horizon: DefaultFidelityHorizon,
+		profDst: e.Sys.Topo.View(e.HomeSocket)[0],
+	}
+	if a.learn {
+		if reg := e.Metrics(); reg != nil {
+			a.minroi = make([][]*metrics.Gauge, len(nodes))
+			for s := range nodes {
+				a.minroi[s] = make([]*metrics.Gauge, len(nodes))
+				for d := range nodes {
+					if s == d {
+						continue
+					}
+					a.minroi[s][d] = reg.Gauge("mtm_admission_minroi",
+						"effective promotion ROI floor per tier pair (online-learned)",
+						metrics.L("src", nodes[s].Name), metrics.L("dst", nodes[d].Name))
+				}
+			}
+		}
+	}
+	e.adm = a
 }
 
 // AdmissionEnabled reports whether the admission subsystem is attached.
@@ -217,8 +286,17 @@ func (e *Engine) admissionMoveCommitted(v *vm.VMA, idx int, src, dst tier.NodeID
 		return
 	}
 	now := e.SpanClockNs()
+	dir := e.moveDirection(src, dst)
 	e.adm.ctl.Commit(int(src), int(dst), v.PageSize, now)
-	e.adm.ctl.NotePageMove(v.Addr(idx), e.moveDirection(src, dst), now)
+	e.adm.ctl.NotePageMove(v.Addr(idx), dir, now)
+	if e.adm.learn && dir == admission.DirPromote {
+		// Feed the learner ledger: this promotion's hindsight verdict
+		// (reaccessed before the horizon, or wasted) resolves in
+		// admissionEndInterval and adjusts the pair's learned floor.
+		e.adm.pend = append(e.adm.pend, admPending{
+			v: v, idx: int32(idx), interval: int32(e.Intervals), src: src, dst: dst,
+		})
+	}
 }
 
 // admissionMoveAborted charges an aborted move's wasted bytes to its
@@ -249,4 +327,188 @@ func (e *Engine) AdmissionTokens(src, dst tier.NodeID) int64 {
 		return 0
 	}
 	return e.adm.ctl.Tokens(int(src), int(dst), e.SpanClockNs())
+}
+
+// AdmissionLearnEnabled reports whether online MinROI learning is on.
+func (e *Engine) AdmissionLearnEnabled() bool { return e.adm != nil && e.adm.learn }
+
+// AdmissionLanesEnabled reports whether traffic-class priority lanes
+// (and with them the binding budgets) are on.
+func (e *Engine) AdmissionLanesEnabled() bool { return e.adm != nil && e.adm.lanes }
+
+// AdmissionMinROI reports the pair's effective promotion floor: the
+// learned floor when learning is on, the static MinROI otherwise, 0
+// when admission is disabled. Exposed for tests and tooling.
+func (e *Engine) AdmissionMinROI(src, dst tier.NodeID) float64 {
+	if e.adm == nil {
+		return 0
+	}
+	return e.adm.ctl.MinROIFor(int(src), int(dst))
+}
+
+// ClassCounters is one traffic class's admission activity in Result.
+type ClassCounters struct {
+	Requests int64
+	Admits   int64
+	Defers   int64
+	Bytes    int64
+}
+
+// LaneStats is the per-traffic-class admission breakdown exported in
+// Result when priority lanes are enabled.
+type LaneStats struct {
+	Normal    ClassCounters
+	Drain     ClassCounters
+	Emergency ClassCounters
+	// Starvations counts starvation-watchdog firings: a critical class
+	// waited more than the configured number of consecutive intervals
+	// with requests but no admits.
+	Starvations int64
+}
+
+// AdmissionLaneStats assembles the per-class Result breakdown; nil
+// unless lanes are enabled, so lane-free Result JSON is unchanged.
+func (e *Engine) AdmissionLaneStats() *LaneStats {
+	if e.adm == nil || !e.adm.lanes {
+		return nil
+	}
+	cc := func(cl admission.Class) ClassCounters {
+		s := e.adm.ctl.ClassStats(cl)
+		return ClassCounters{Requests: s.Requests, Admits: s.Admits, Defers: s.Defers, Bytes: s.Bytes}
+	}
+	return &LaneStats{
+		Normal:      cc(admission.ClassNormal),
+		Drain:       cc(admission.ClassDrain),
+		Emergency:   cc(admission.ClassEmergency),
+		Starvations: e.adm.starvations,
+	}
+}
+
+// admitDrainMove prices one health-drain page move on the drain lane:
+// ROI gates and waste shedding do not apply (evacuating a dying tier is
+// not optional), but the move draws on the pair's tokens plus the
+// reserved slice, so a saturated pair paces the drain instead of
+// stopping it. Always true unless lanes are enabled — without lanes,
+// drain traffic bypasses admission entirely, as before.
+func (e *Engine) admitDrainMove(src, dst tier.NodeID, bytes, pageSize int64) bool {
+	if e.adm == nil || !e.adm.lanes || int(src) < 0 || int(dst) < 0 || src == dst {
+		return true
+	}
+	dec := e.adm.ctl.AdmitClass(admission.ClassDrain, int(src), int(dst),
+		e.moveDirection(src, dst), 0, bytes, pageSize, e.SpanClockNs())
+	return dec.Verdict == admission.VerdictAdmit
+}
+
+// admitEmergencyMove records one emergency demotion on the emergency
+// lane. Emergency traffic is never refused — the alternative is an OOM
+// — so this is bookkeeping, not a gate: the class counters and the
+// starvation watchdog see the request, and the commit path debits the
+// bytes like any other move.
+func (e *Engine) admitEmergencyMove(src, dst tier.NodeID, bytes int64) {
+	if e.adm == nil || !e.adm.lanes || int(src) < 0 || int(dst) < 0 || src == dst {
+		return
+	}
+	e.adm.ctl.AdmitClass(admission.ClassEmergency, int(src), int(dst),
+		e.moveDirection(src, dst), 0, bytes, bytes, e.SpanClockNs())
+}
+
+// admissionChargeBackground charges background copy traffic (shadow
+// sync) against the pair's token bucket when lanes make the budgets
+// bind. No-op otherwise, keeping lane-free runs bit-identical.
+func (e *Engine) admissionChargeBackground(src, dst tier.NodeID, bytes int64) {
+	if e.adm == nil || !e.adm.lanes || int(src) < 0 || int(dst) < 0 || src == dst {
+		return
+	}
+	e.adm.ctl.Charge(int(src), int(dst), bytes, e.SpanClockNs())
+}
+
+// admissionResetWaste clears a pair's waste ledger; called when the
+// pair's circuit breaker transitions open→half-open so one pre-trip bad
+// interval cannot immediately re-shed the recovering pair (the ledger
+// froze during the open period — no moves, no decay). The budget is
+// zeroed along with it: the clean ledger must not combine with tokens
+// banked during the outage into a burst of unproven copies — the
+// recovering pair re-earns its bandwidth from nothing, one refill
+// interval at a time.
+func (e *Engine) admissionResetWaste(src, dst tier.NodeID) {
+	if e.adm == nil || int(src) < 0 || int(dst) < 0 {
+		return
+	}
+	now := e.SpanClockNs()
+	e.adm.ctl.ResetWasteWindow(int(src), int(dst), now)
+	e.adm.ctl.ZeroBudget(int(src), int(dst), now)
+}
+
+// admissionEndInterval is the adaptive layer's once-per-interval work,
+// on the serialized loop between the fidelity sample and ResetCounts
+// (the learner reads the same count planes as the oracle):
+//
+//  1. Resolve the learner ledger: each pending promotion older than
+//     this interval is judged reaccessed (count > 0) or, once the
+//     horizon expires, wasted, and the verdict feeds the pair's floor.
+//  2. Charge profiling traffic against the pair budgets (lanes mode).
+//  3. Run the controller's EndInterval: demand-scaled refill, bounded
+//     floor adaptation, starvation watchdog.
+//  4. Surface watchdog firings as typed events/metrics/spans and
+//     refresh the per-pair learned-floor gauges.
+//
+// Skipped entirely when neither learning nor lanes is on: a plain
+// -admission run executes byte-identically to the static layer.
+func (e *Engine) admissionEndInterval() {
+	a := e.adm
+	if a == nil || (!a.learn && !a.lanes) {
+		return
+	}
+	now := e.SpanClockNs()
+	if a.learn {
+		cur := int32(e.Intervals)
+		keep := a.pend[:0]
+		for i := range a.pend {
+			m := &a.pend[i]
+			if m.interval >= cur {
+				keep = append(keep, *m)
+				continue
+			}
+			reaccessed := m.v.Present(int(m.idx)) && m.v.Count(int(m.idx)) > 0
+			if !reaccessed && cur-m.interval < a.horizon {
+				keep = append(keep, *m)
+				continue
+			}
+			a.ctl.NoteOutcome(int(m.src), int(m.dst), reaccessed)
+		}
+		a.pend = keep
+	}
+	if a.lanes {
+		// Profiling traffic: the profiler's scan/sample reads flow from
+		// every accessed node toward the home socket's fastest tier.
+		for d, n := range e.intAccesses {
+			if tier.NodeID(d) == a.profDst || n <= 0 {
+				continue
+			}
+			if bytes := n / profSampleDiv * profSampleBytes; bytes > 0 {
+				a.ctl.Charge(d, int(a.profDst), bytes, now)
+			}
+		}
+	}
+	for _, s := range a.ctl.EndInterval(now) {
+		a.starvations++
+		if e.met != nil {
+			e.met.admStarved.Inc()
+			e.met.reg.Emit(EventLaneStarvation, s.Class.String(), int64(s.Waited))
+		}
+		if e.sp != nil {
+			e.SpanEvent("admission", "lane-starvation",
+				span.S("class", s.Class.String()),
+				span.I("waited_intervals", int64(s.Waited)))
+		}
+	}
+	if a.minroi != nil {
+		for s := range a.minroi {
+			for d := range a.minroi[s] {
+				if g := a.minroi[s][d]; g != nil {
+					g.Set(a.ctl.MinROIFor(s, d))
+				}
+			}
+		}
+	}
 }

@@ -399,6 +399,12 @@ func (e *Engine) endInterval() {
 	// ResetCounts (the count planes are its ground truth). It runs before
 	// spansEndInterval so outcome events parent into the open interval.
 	e.fidelityEndInterval()
+	// The admission layer's once-per-interval work — learner-ledger
+	// resolution (reads the same count planes as the oracle, so it too
+	// must precede ResetCounts), demand-scaled refill, floor adaptation,
+	// and the starvation watchdog — runs after the oracle and before
+	// spansEndInterval so watchdog events parent into the open interval.
+	e.admissionEndInterval()
 	app := e.AppTimeThisInterval()
 	e.spansEndInterval(app)
 	e.clock += app + e.intProf + e.intMig
@@ -492,6 +498,11 @@ type Result struct {
 	AdmissionRejects int64 `json:",omitempty"`
 	ThrashSuppressed int64 `json:",omitempty"`
 
+	// AdmissionLanes breaks admission activity down by traffic class
+	// (normal / drain / emergency) when priority lanes are enabled; nil
+	// otherwise so lane-free Result JSON is unchanged.
+	AdmissionLanes *LaneStats `json:",omitempty"`
+
 	// Non-exclusive-tiering accounting (present only when the active
 	// policy retained shadow frames; omitted otherwise so shadow-free
 	// Result JSON is unchanged).
@@ -568,6 +579,7 @@ func Run(e *Engine, w Workload, sol Solution, maxIntervals int) (*Result, error)
 		AdmissionDefers:     e.AdmissionDefers,
 		AdmissionRejects:    e.AdmissionRejects,
 		ThrashSuppressed:    e.ThrashSuppressed,
+		AdmissionLanes:      e.AdmissionLaneStats(),
 		ShadowHits:          e.ShadowHits,
 		ShadowInvalidations: e.ShadowInvalidations,
 		FreeDemotions:       e.FreeDemotions,

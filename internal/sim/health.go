@@ -98,7 +98,14 @@ func (e *Engine) DestUsable(src, dst tier.NodeID) bool {
 	if int(src) < 0 || int(dst) < 0 {
 		return true
 	}
-	return e.hlt.breaker.Allow(int(src), int(dst), e.SpanClockNs())
+	ok, reopened := e.hlt.breaker.AllowAt(int(src), int(dst), e.SpanClockNs())
+	if reopened {
+		// The pair just re-entered service (open → half-open): clear its
+		// frozen waste ledger so the pre-trip aborts cannot immediately
+		// re-shed the recovering pair.
+		e.admissionResetWaste(src, dst)
+	}
+	return ok
 }
 
 // BreakerEvidence returns the read-only breaker state of the (src, dst)
@@ -387,7 +394,18 @@ func (e *Engine) drainNode(node tier.NodeID) {
 			break
 		}
 		dst := e.drainDest(node, p.v.PageSize)
-		if dst == tier.Invalid || !e.MoveBegin(p.v, p.idx, dst) {
+		if dst == tier.Invalid {
+			stalled = true
+			break
+		}
+		if !e.admitDrainMove(node, dst, p.v.PageSize, p.v.PageSize) {
+			// Drain-lane budget exhausted (tokens plus the reserved
+			// slice): pace the evacuation rather than stall it — the
+			// remaining pages retry next interval once the pair refills.
+			// Not a stall: a stall means no destination has room.
+			break
+		}
+		if !e.MoveBegin(p.v, p.idx, dst) {
 			stalled = true
 			break
 		}
@@ -453,8 +471,14 @@ func (e *Engine) drainDest(node tier.NodeID, size int64) tier.NodeID {
 		}
 	}
 	try := func(cand tier.NodeID) bool {
-		return e.Sys.Allocatable(cand) && e.Sys.Free(cand) >= size &&
-			e.hlt.breaker.Allow(int(node), int(cand), e.SpanClockNs())
+		if !e.Sys.Allocatable(cand) || e.Sys.Free(cand) < size {
+			return false
+		}
+		ok, reopened := e.hlt.breaker.AllowAt(int(node), int(cand), e.SpanClockNs())
+		if reopened {
+			e.admissionResetWaste(node, cand)
+		}
+		return ok
 	}
 	for i := rank + 1; i < len(view); i++ {
 		if try(view[i]) {

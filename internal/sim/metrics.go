@@ -60,6 +60,11 @@ const (
 	// reversing direction inside its cool-down; Detail is the src->dst
 	// pair, Value the page index of the first suppressed page.
 	EventThrashSuppressed = "thrash-suppressed"
+	// EventLaneStarvation: the admission starvation watchdog caught a
+	// critical traffic class (drain, emergency) with requests but zero
+	// admits for more than the configured number of consecutive
+	// intervals; Detail names the class, Value the intervals waited.
+	EventLaneStarvation = "lane-starvation"
 )
 
 // engineMetrics holds the engine's pre-registered instrument handles. All
@@ -98,6 +103,7 @@ type engineMetrics struct {
 	admDeferred *metrics.Counter
 	admRejected *metrics.Counter
 	admThrash   *metrics.Counter
+	admStarved  *metrics.Counter
 
 	// Non-exclusive-tiering instruments (registered unconditionally;
 	// they stay at zero unless EnableShadow is active).
@@ -165,6 +171,7 @@ func (e *Engine) EnableMetrics() *metrics.Registry {
 	m.admDeferred = reg.Counter("mtm_admission_deferred_total", "planned moves deferred by admission control (budget pressure)")
 	m.admRejected = reg.Counter("mtm_admission_rejected_total", "planned moves rejected by admission control (ROI)")
 	m.admThrash = reg.Counter("mtm_admission_thrash_suppressed_total", "page moves blocked by the ping-pong cool-down")
+	m.admStarved = reg.Counter("mtm_admission_lane_starvations_total", "starvation-watchdog firings for critical traffic classes")
 	m.shadowRetained = reg.Counter("mtm_shadow_retained_total", "promotions that retained their source frame as a shadow")
 	m.shadowHits = reg.Counter("mtm_shadow_hits_total", "demotion lookups that found a valid shadow")
 	m.shadowInvalidations = reg.Counter("mtm_shadow_invalidations_total", "shadows diverged by a write to the fast copy")

@@ -411,6 +411,9 @@ func (e *Engine) demoteColdest(node tier.NodeID, lower []tier.NodeID, need int64
 		if dst == tier.Invalid {
 			break
 		}
+		// Emergency lane: record-only — the OOM path is never refused,
+		// but the class counters and starvation watchdog must see it.
+		e.admitEmergencyMove(node, dst, p.v.PageSize)
 		if !e.MovePage(p.v, p.idx, dst) {
 			break
 		}

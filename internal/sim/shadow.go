@@ -330,6 +330,9 @@ func (e *Engine) syncShadowPage(v *vm.VMA, i int, dst tier.NodeID) int64 {
 	e.ChargeBackground(e.Sys.CopyTime(e.HomeSocket, src, dst, v.PageSize))
 	e.Sys.RecordTransfer(src, v.PageSize)
 	e.Sys.RecordTransfer(dst, v.PageSize)
+	// Binding budgets: the write-back competes for the same pair
+	// bandwidth migration does (no-op unless lanes are enabled).
+	e.admissionChargeBackground(src, dst, v.PageSize)
 	v.RevalidateShadow(i)
 	e.ShadowSyncBytes += v.PageSize
 	if e.met != nil {

@@ -110,6 +110,24 @@ type Config struct {
 	// nil adds zero overhead and keeps results bit-identical to a build
 	// without the layer. Results stay byte-identical at every Parallelism.
 	Admission *admission.Config
+	// AdmissionLearn enables online MinROI learning on the admission
+	// layer: per-tier-pair promotion floors are adjusted once per interval
+	// from hindsight verdicts (promoted-and-reaccessed vs promoted-wasted)
+	// with bounded multiplicative steps and an evidence floor that freezes
+	// adaptation when samples are scarce. Implies Admission (a zero
+	// admission.Config is supplied when Admission is nil). Learned floors
+	// appear in Result, the mtm_admission_minroi gauges, and — with Trace —
+	// as per-decision span provenance. Deterministic at any Parallelism.
+	AdmissionLearn bool
+	// AdmissionLanes names a traffic-class lane configuration for the
+	// admission layer ("" disables; "default" and "strict" are presets,
+	// with kebab-case overrides à la Faults, e.g.
+	// "default,reserve-frac=0.4"). Lanes split migration traffic into
+	// normal/drain/emergency classes with strict-priority admission, a
+	// reserved bandwidth slice for the critical classes, demand-scaled
+	// budget refill, background (shadow-sync/profiling) traffic charging,
+	// and a starvation watchdog. Implies Admission, like AdmissionLearn.
+	AdmissionLanes string
 	// Health enables the tier-health subsystem (memory-error poisoning,
 	// tier draining/offlining, migration circuit breakers) even without a
 	// fault scenario. Scenarios that inject memory errors or tier
@@ -174,6 +192,9 @@ func (c Config) withDefaults() Config {
 	if c.FaultSeed == 0 {
 		c.FaultSeed = c.Seed + 1
 	}
+	if (c.AdmissionLearn || c.AdmissionLanes != "") && c.Admission == nil {
+		c.Admission = &admission.Config{}
+	}
 	return c
 }
 
@@ -202,6 +223,14 @@ func (c Config) Validate() error {
 	}
 	if r.FidelityHorizon > 0 && !r.Fidelity {
 		return fmt.Errorf("mtm: FidelityHorizon set without Fidelity (enable the oracle or drop the horizon)")
+	}
+	if _, err := admission.ParseLanes(r.AdmissionLanes); err != nil {
+		return fmt.Errorf("mtm: %w", err)
+	}
+	if r.Admission != nil {
+		if err := r.Admission.Validate(); err != nil {
+			return fmt.Errorf("mtm: %w", err)
+		}
 	}
 	return nil
 }
@@ -249,7 +278,14 @@ func NewEngine(c Config) *sim.Engine {
 	if c.Admission != nil {
 		// Also after Interval is set: budgets refill per profiling
 		// interval and the thrash cool-down defaults to twice of it.
-		e.EnableAdmission(*c.Admission)
+		ac := *c.Admission
+		if c.AdmissionLearn {
+			ac.Learn = true
+		}
+		if lc, err := admission.ParseLanes(c.AdmissionLanes); err == nil && lc.Enabled {
+			ac.Lanes = lc
+		}
+		e.EnableAdmission(ac)
 	}
 	if c.Fidelity {
 		// Last, after EnableMetrics/EnableSpans, so the oracle's

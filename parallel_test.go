@@ -383,3 +383,58 @@ func TestParallelDeterminismFidelity(t *testing.T) {
 		})
 	}
 }
+
+// TestParallelDeterminismLearn pins the adaptive admission layer's
+// determinism contract at parallelism 1, 2 and 8: the learner ledger
+// fills in serialized commit order and resolves on the serialized
+// end-of-interval path, lane counters and the demand-scaled refill
+// mutate only there too — so the whole Result (including the learned
+// floors' downstream effects and the AdmissionLanes block) and the span
+// stream (including per-decision floor attributes) must be
+// byte-identical at every worker count, with and without fault
+// injection.
+func TestParallelDeterminismLearn(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = 512
+	cfg.OpsFactor = 0.25
+	cfg.AdmissionLearn = true
+	cfg.AdmissionLanes = "default"
+	variants := []struct{ name, faults string }{
+		{"plain", ""},
+		{"cxl-flaky", "cxl-flaky"},
+	}
+	for _, v := range variants {
+		vc := cfg
+		vc.Faults = v.faults
+		vc.Audit = v.faults != ""
+		t.Run("pingpong/mtm/"+v.name, func(t *testing.T) {
+			c := vc
+			c.Parallelism = 1
+			base := resultJSON(t, c, "pingpong", "mtm")
+			for _, p := range []int{2, 8} {
+				cp := vc
+				cp.Parallelism = p
+				if got := resultJSON(t, cp, "pingpong", "mtm"); !bytes.Equal(base, got) {
+					t.Errorf("Result diverged at parallelism %d:\np1: %s\np%d: %s", p, base, p, got)
+				}
+			}
+		})
+		t.Run("pingpong/mtm/"+v.name+"/spans", func(t *testing.T) {
+			runSpanSet(t, vc, "pingpong", "mtm")
+		})
+	}
+}
+
+// resultJSON runs and marshals the whole Result.
+func resultJSON(t *testing.T, cfg Config, wl, sol string) []byte {
+	t.Helper()
+	res, err := Run(cfg, wl, sol)
+	if err != nil {
+		t.Fatalf("run (parallel %d): %v", cfg.Parallelism, err)
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
